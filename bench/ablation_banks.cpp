@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation — scaling bank prediction beyond two banks.
+ *
+ * Section 2.3 proposes scaling binary bank prediction by predicting
+ * each bank-ID bit independently with its own confidence ("if the
+ * confidence level of a particular bit is low, the load will be sent
+ * to both banks"), or by using a non-binary predictor such as the
+ * address predictor. This bench evaluates both on 2, 4 and 8 banks,
+ * statistically (rate/accuracy/metric) — the more banks, the harder
+ * the per-bit scheme has to work for the same prediction rate.
+ */
+
+#include "core/analysis.hh"
+
+#include "bench_util.hh"
+
+using namespace lrs;
+using namespace lrs::benchutil;
+
+int
+main()
+{
+    printHeader("Ablation: bank prediction beyond two banks",
+                "per-bit prediction rate drops with bank count; the "
+                "address predictor scales natively");
+
+    std::vector<TraceParams> traces;
+    for (const auto g : {TraceGroup::SpecInt95, TraceGroup::SpecFP95}) {
+        auto part = groupTraces(g, 3);
+        traces.insert(traces.end(), part.begin(), part.end());
+    }
+
+    TextTable t({"banks", "predictor", "rate", "accuracy",
+                 "metric(pen=2)"});
+    for (const unsigned banks : {2u, 4u, 8u}) {
+        for (const bool use_addr : {false, true}) {
+            BankStats agg;
+            for (const auto &tp : traces) {
+                auto trace = TraceLibrary::make(tp);
+                std::unique_ptr<BankPredictor> pred;
+                if (use_addr) {
+                    pred = std::make_unique<AddressBankPredictor>(
+                        64, banks, 1024);
+                } else {
+                    pred = makePerBitBankPredictor(banks);
+                }
+                const auto st =
+                    analyzeBank(*trace, *pred, 64, banks);
+                agg.loads += st.loads;
+                agg.predicted += st.predicted;
+                agg.correct += st.correct;
+                agg.wrong += st.wrong;
+            }
+            t.startRow();
+            t.cell(strprintf("%u", banks));
+            t.cell(use_addr ? "addr" : "per-bit(A)");
+            t.cellPct(agg.rate(), 1);
+            t.cellPct(agg.accuracy(), 2);
+            t.cell(agg.metric(2.0), 3);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

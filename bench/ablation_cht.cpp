@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation — CHT design choices the paper calls out.
+ *
+ * Sweeps (on the inclusive scheme): counter width (sticky / 1-bit /
+ * 2-bit / 3-bit), cyclic clearing of sticky tables ([Chry98]-style,
+ * section 2.1 note), and associativity. Reports speedup over
+ * Traditional plus the misprediction mix that explains it.
+ */
+
+#include "bench_util.hh"
+
+using namespace lrs;
+using namespace lrs::benchutil;
+
+namespace
+{
+
+struct Variant
+{
+    std::string label;
+    ChtParams cht;
+};
+
+std::vector<Variant>
+variants()
+{
+    std::vector<Variant> out;
+
+    auto base = [] {
+        ChtParams p;
+        p.kind = ChtKind::Full;
+        p.entries = 2048;
+        p.assoc = 4;
+        p.trackDistance = true;
+        return p;
+    };
+
+    {
+        Variant v{"sticky", base()};
+        v.cht.sticky = true;
+        v.cht.counterBits = 1;
+        out.push_back(v);
+    }
+    {
+        Variant v{"sticky+clear8k", base()};
+        v.cht.sticky = true;
+        v.cht.counterBits = 1;
+        v.cht.clearInterval = 8192;
+        out.push_back(v);
+    }
+    for (const unsigned bits : {1u, 2u, 3u}) {
+        Variant v{strprintf("%u-bit counter", bits), base()};
+        v.cht.counterBits = bits;
+        out.push_back(v);
+    }
+    for (const unsigned assoc : {1u, 2u, 8u}) {
+        Variant v{strprintf("2-bit, %u-way", assoc), base()};
+        v.cht.counterBits = 2;
+        v.cht.assoc = assoc;
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablation: CHT counter/clearing/associativity",
+                "sticky minimises AC-PNC; counters track behaviour "
+                "changes; clearing rescues sticky tables");
+
+    const auto traces = groupTraces(TraceGroup::SysmarkNT, 3);
+
+    TextTable t({"variant", "speedup", "AC-PNC%", "ANC-PC%",
+                 "penalized/kload"});
+    for (const auto &v : variants()) {
+        double speedup = 0.0;
+        std::uint64_t ac_pnc = 0, anc_pc = 0, conf = 0, pen = 0,
+                      loads = 0;
+        for (const auto &tp : traces) {
+            auto trace = TraceLibrary::make(tp);
+            MachineConfig cfg;
+            cfg.scheme = OrderingScheme::Traditional;
+            const auto base = runSim(*trace, cfg);
+            cfg.scheme = OrderingScheme::Inclusive;
+            cfg.cht = v.cht;
+            const auto r = runSim(*trace, cfg);
+            speedup += r.speedupOver(base);
+            ac_pnc += r.acPnc;
+            anc_pc += r.ancPc;
+            conf += r.conflicting();
+            pen += r.collisionPenalties;
+            loads += r.loads;
+        }
+        t.startRow();
+        t.cell(v.label);
+        t.cell(speedup / static_cast<double>(traces.size()), 3);
+        t.cellPct(conf ? static_cast<double>(ac_pnc) / conf : 0, 2);
+        t.cellPct(conf ? static_cast<double>(anc_pc) / conf : 0, 2);
+        t.cell(loads ? 1000.0 * pen / loads : 0, 1);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation — L2 hit-miss prediction for thread switching.
+ *
+ * Section 2.2: "the prediction may be used to govern a thread switch
+ * if a load is predicted to miss the L2 cache, and suffer the large
+ * latency of accessing main memory" [Tull95]. This bench evaluates
+ * the paper's hit-miss predictors re-targeted at misses-to-memory and
+ * estimates the cycles a switch-on-predicted-miss SMT policy would
+ * reclaim, per group. TPC (working set far beyond the caches) is
+ * where the policy should pay off; cache-resident groups should show
+ * nothing worth switching for.
+ */
+
+#include "core/analysis.hh"
+
+#include "bench_util.hh"
+
+using namespace lrs;
+using namespace lrs::benchutil;
+
+int
+main()
+{
+    printHeader("Ablation: L2 hit-miss prediction (thread switch)",
+                "switch-on-predicted-L2-miss pays on memory-bound "
+                "groups only");
+
+    const std::vector<std::pair<const char *, TraceGroup>> groups = {
+        {"TPC", TraceGroup::TPC},
+        {"SpecFP", TraceGroup::SpecFP95},
+        {"SpecINT", TraceGroup::SpecInt95},
+        {"NT", TraceGroup::SysmarkNT},
+    };
+
+    TextTable t({"group", "predictor", "mem-miss rate", "coverage",
+                 "false-switch", "net cycles/kload"});
+    for (const auto &[label, g] : groups) {
+        for (const char *which : {"local", "chooser"}) {
+            HmpStats agg;
+            double net = 0.0;
+            const auto traces = groupTraces(g, 3);
+            for (const auto &tp : traces) {
+                auto trace = TraceLibrary::make(tp);
+                auto hmp = makeHmp(which);
+                const auto est = estimateThreadSwitch(*trace, *hmp);
+                agg.loads += est.stats.loads;
+                agg.misses += est.stats.misses;
+                agg.ahPm += est.stats.ahPm;
+                agg.amPm += est.stats.amPm;
+                agg.amPh += est.stats.amPh;
+                agg.ahPh += est.stats.ahPh;
+                net += est.netSavedPerKiloLoad();
+            }
+            t.startRow();
+            t.cell(label);
+            t.cell(which);
+            t.cellPct(agg.missRate(), 2);
+            t.cellPct(agg.coverage(), 1);
+            t.cellPct(agg.falseMissFrac(), 2);
+            t.cell(net / static_cast<double>(traces.size()), 1);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\n'net cycles/kload' assumes a 20-cycle thread-"
+                 "switch overhead against the\nconfigured main-memory "
+                 "latency; positive means switching on the "
+                 "prediction\nbeats stalling.\n";
+    return 0;
+}

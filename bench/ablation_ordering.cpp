@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation — ordering schemes vs the Store Barrier Cache baseline.
+ *
+ * The paper positions its collision predictors against Hesson et
+ * al.'s Store Barrier Cache [Hess95]: "our mechanism is in a sense
+ * similar to [Hess95] yet more refined, since it deals with specific
+ * loads". This bench quantifies that: the barrier cache fences ALL
+ * loads behind a flagged store, so it avoids re-executions at the
+ * cost of many lost bypass opportunities, landing between Traditional
+ * and the CHT-based schemes.
+ */
+
+#include "bench_util.hh"
+
+using namespace lrs;
+using namespace lrs::benchutil;
+
+int
+main()
+{
+    printHeader("Ablation: Store Barrier Cache [Hess95] vs CHT",
+                "barrier cache should land between Traditional and "
+                "Inclusive");
+
+    std::vector<TraceParams> traces;
+    for (const auto g : {TraceGroup::SysmarkNT, TraceGroup::SpecInt95,
+                         TraceGroup::Java}) {
+        auto part = groupTraces(g, 2);
+        traces.insert(traces.end(), part.begin(), part.end());
+    }
+
+    const std::vector<OrderingScheme> schemes = {
+        OrderingScheme::Traditional,   OrderingScheme::StoreBarrier,
+        OrderingScheme::StoreSets,     OrderingScheme::Opportunistic,
+        OrderingScheme::Inclusive,     OrderingScheme::Exclusive,
+        OrderingScheme::Perfect,
+    };
+
+    TextTable t({"trace", "StoreBarrier", "StoreSets", "Opportunistic",
+                 "Inclusive", "Exclusive", "Excl+fwd", "Perfect"});
+    std::vector<std::vector<double>> per_scheme(7);
+
+    for (const auto &tp : traces) {
+        auto trace = TraceLibrary::make(tp);
+        MachineConfig cfg;
+        cfg.cht = paperCht();
+
+        std::vector<SimResult> results;
+        for (const auto s : schemes) {
+            cfg.scheme = s;
+            results.push_back(runSim(*trace, cfg));
+        }
+        // Exclusive with speculative value forwarding (section 2.1's
+        // distance-pairing extension).
+        cfg.scheme = OrderingScheme::Exclusive;
+        cfg.exclusiveSpecForward = true;
+        const SimResult fwd = runSim(*trace, cfg);
+        cfg.exclusiveSpecForward = false;
+
+        const SimResult &base = results[0];
+        t.startRow();
+        t.cell(tp.name);
+        for (std::size_t i = 1; i < schemes.size(); ++i) {
+            const double s = results[i].speedupOver(base);
+            per_scheme[i < 6 ? i - 1 : 6].push_back(s);
+            t.cell(s, 3);
+            if (schemes[i] == OrderingScheme::Exclusive) {
+                const double sf = fwd.speedupOver(base);
+                per_scheme[5].push_back(sf);
+                t.cell(sf, 3);
+            }
+        }
+    }
+    t.startRow();
+    t.cell("avg");
+    for (const auto &v : per_scheme)
+        t.cell(mean(v), 3);
+    t.print(std::cout);
+
+    std::cout
+        << "\nThe barrier cache fences every load behind a flagged "
+           "store; store sets pair\nloads with their producer set "
+           "(very few violations, conservative waits); the\nCHT "
+           "delays only the loads that actually collide. The paper's "
+           "cost claim:\na 4K-entry tagless CHT needs ~4 Kbit vs ~34 "
+           "Kbit for these store sets while\nreaching higher speedup "
+           "(section 1.1 related work).\n";
+    return 0;
+}

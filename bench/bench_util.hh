@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench accepts two environment knobs:
+ *   LRS_TRACE_LEN   uops per trace (default 120000; the paper used 30M
+ *                   IA-32 instructions per trace — scale up for
+ *                   higher-fidelity runs)
+ *   LRS_ALL_TRACES  set to 1 to run every trace of each group instead
+ *                   of the default subset used to keep bench time low
+ */
+
+#ifndef LRS_BENCH_UTIL_HH
+#define LRS_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+#include "trace/library.hh"
+
+namespace lrs::benchutil
+{
+
+inline std::uint64_t
+traceLen(std::uint64_t fallback = 120000)
+{
+    return envU64("LRS_TRACE_LEN", fallback);
+}
+
+/** Trace parameter sets for a group, optionally capped. */
+inline std::vector<TraceParams>
+groupTraces(TraceGroup g, std::size_t cap = SIZE_MAX)
+{
+    auto all = TraceLibrary::group(g, traceLen());
+    if (envU64("LRS_ALL_TRACES", 0) == 0 && all.size() > cap)
+        all.resize(cap);
+    return all;
+}
+
+/** The paper's baseline CHT: 2K-entry 4-way Full CHT, 2-bit counters,
+ *  allocated on first collision, with distance tracking for the
+ *  exclusive scheme (section 4.1). */
+inline ChtParams
+paperCht()
+{
+    ChtParams c;
+    c.kind = ChtKind::Full;
+    c.entries = 2048;
+    c.assoc = 4;
+    c.counterBits = 2;
+    c.trackDistance = true;
+    return c;
+}
+
+/** Arithmetic mean (the paper's per-group averages are arithmetic). */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+inline void
+printHeader(const std::string &title, const std::string &paper_note)
+{
+    std::cout << "=== " << title << " ===\n";
+    std::cout << "paper reference: " << paper_note << "\n";
+    std::cout << "trace length: " << traceLen() << " uops/trace\n\n";
+}
+
+} // namespace lrs::benchutil
+
+#endif // LRS_BENCH_UTIL_HH

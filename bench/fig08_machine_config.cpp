@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 8 — Speedup vs Machine Configuration.
+ *
+ * Ordering-scheme speedups across machine widths (EU2/MEM1, EU2/MEM2,
+ * EU4/MEM2) for NT, SpecInt, Sysmark95 and "Other" (Games+Java+TPC).
+ * Paper: wider machines gain more from better memory ordering; NT and
+ * SpecInt gain 8-17%, Sys95/Other 5-10%.
+ */
+
+#include "bench_util.hh"
+
+using namespace lrs;
+using namespace lrs::benchutil;
+
+namespace
+{
+
+struct GroupSpec
+{
+    const char *label;
+    std::vector<TraceGroup> groups;
+};
+
+struct WidthSpec
+{
+    const char *label;
+    int intUnits;
+    int memUnits;
+};
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 8: speedup vs machine configuration",
+                "wider machines gain more; NT/ISPEC 8-17%, "
+                "Sys95/Other 5-10%");
+
+    const std::vector<GroupSpec> groups = {
+        {"NT", {TraceGroup::SysmarkNT}},
+        {"ISPEC", {TraceGroup::SpecInt95}},
+        {"Sys95", {TraceGroup::Sysmark95}},
+        {"Other",
+         {TraceGroup::Games, TraceGroup::Java, TraceGroup::TPC}},
+    };
+    const std::vector<WidthSpec> widths = {
+        {"EU2/MEM1", 2, 1},
+        {"EU2/MEM2", 2, 2},
+        {"EU4/MEM2", 4, 2},
+    };
+
+    TextTable t({"group", "machine", "Postponing", "Opportunistic",
+                 "Inclusive", "Exclusive", "Perfect"});
+
+    for (const auto &gs : groups) {
+        // Gather a small per-group trace subset.
+        std::vector<TraceParams> traces;
+        for (const auto g : gs.groups) {
+            auto part = groupTraces(g, 2);
+            traces.insert(traces.end(), part.begin(), part.end());
+        }
+
+        for (const auto &ws : widths) {
+            MachineConfig cfg;
+            cfg.cht = paperCht();
+            cfg.intUnits = ws.intUnits;
+            cfg.memUnits = ws.memUnits;
+
+            std::vector<std::vector<double>> per_scheme(5);
+            for (const auto &tp : traces) {
+                auto trace = TraceLibrary::make(tp);
+                const auto results = runAllSchemes(*trace, cfg);
+                const SimResult &base = results[0];
+                per_scheme[0].push_back(
+                    results[2].speedupOver(base)); // Postponing
+                per_scheme[1].push_back(
+                    results[1].speedupOver(base)); // Opportunistic
+                per_scheme[2].push_back(results[3].speedupOver(base));
+                per_scheme[3].push_back(results[4].speedupOver(base));
+                per_scheme[4].push_back(results[5].speedupOver(base));
+            }
+            t.startRow();
+            t.cell(gs.label);
+            t.cell(ws.label);
+            for (const auto &v : per_scheme)
+                t.cell(mean(v), 3);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 11 — Speedup of Hit-Miss Prediction.
+ *
+ * Performance runs on the paper's highest-performing machine (4
+ * general + 2 memory units, perfect disambiguation): speedup over the
+ * no-HMP (always-predict-hit) baseline for the local, chooser,
+ * local+timing and perfect predictors, on SpecInt95 and SysmarkNT.
+ * Paper: perfect HMP ~6% average; local+timing ~2.5% (~45% of the
+ * potential); correlation between statistical accuracy and speedup.
+ */
+
+#include "bench_util.hh"
+
+using namespace lrs;
+using namespace lrs::benchutil;
+
+int
+main()
+{
+    printHeader("Figure 11: hit-miss prediction speedup",
+                "perfect ~1.06 avg; local+timing ~45% of potential");
+
+    const std::vector<std::pair<const char *, TraceGroup>> groups = {
+        {"SpecInt95", TraceGroup::SpecInt95},
+        {"SysmarkNT", TraceGroup::SysmarkNT},
+    };
+    const std::vector<HmpKind> kinds = {
+        HmpKind::Local, HmpKind::Chooser, HmpKind::LocalTiming,
+        HmpKind::Perfect,
+    };
+
+    TextTable t({"group", "local", "chooser", "local+timing",
+                 "perfect"});
+    std::vector<std::vector<double>> overall(kinds.size());
+
+    for (const auto &[label, g] : groups) {
+        const auto traces = groupTraces(g, 4);
+        std::vector<std::vector<double>> per_kind(kinds.size());
+        for (const auto &tp : traces) {
+            auto trace = TraceLibrary::make(tp);
+
+            MachineConfig cfg;
+            cfg.scheme = OrderingScheme::Perfect;
+            cfg.intUnits = 4;
+            cfg.memUnits = 2;
+            cfg.hmp = HmpKind::AlwaysHit;
+            const SimResult base = runSim(*trace, cfg);
+
+            for (std::size_t k = 0; k < kinds.size(); ++k) {
+                cfg.hmp = kinds[k];
+                const SimResult r = runSim(*trace, cfg);
+                const double s = r.speedupOver(base);
+                per_kind[k].push_back(s);
+                overall[k].push_back(s);
+            }
+        }
+        t.startRow();
+        t.cell(label);
+        for (const auto &v : per_kind)
+            t.cell(mean(v), 3);
+    }
+    t.startRow();
+    t.cell("Average");
+    for (const auto &v : overall)
+        t.cell(mean(v), 3);
+    t.print(std::cout);
+    return 0;
+}

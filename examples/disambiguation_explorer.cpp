@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Memory-disambiguation design-space explorer.
+ *
+ * Runs one trace across scheduling-window sizes and CHT organisations
+ * and reports, for each point, the speedup of predictor-based ordering
+ * over the Traditional scheme plus the prediction quality counters —
+ * the workflow an architect would use to size a CHT for a machine.
+ *
+ * Usage: disambiguation_explorer [trace-name] [length]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+
+using namespace lrs;
+
+namespace
+{
+
+ChtParams
+makeCht(ChtKind kind, std::size_t entries)
+{
+    ChtParams p;
+    p.kind = kind;
+    p.entries = entries;
+    p.assoc = 4;
+    p.counterBits = kind == ChtKind::Tagless ? 1 : 2;
+    p.taglessEntries = 4096;
+    p.trackDistance = true;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "pm";
+    const std::uint64_t length =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+
+    auto trace = TraceLibrary::make(TraceLibrary::byName(name, length));
+    std::cout << "exploring trace '" << name << "' (" << length
+              << " uops)\n\n";
+
+    // Part 1: how much is memory disambiguation worth as the
+    // scheduling window grows?
+    std::cout << "--- window sweep (Full-2K CHT, exclusive scheme) "
+                 "---\n";
+    TextTable wt({"window", "Traditional IPC", "Exclusive IPC",
+                  "Perfect IPC", "exclusive speedup"});
+    for (const int w : {16, 32, 64, 128}) {
+        MachineConfig cfg;
+        cfg.schedWindow = w;
+        cfg.cht = makeCht(ChtKind::Full, 2048);
+
+        cfg.scheme = OrderingScheme::Traditional;
+        const auto trad = runSim(*trace, cfg);
+        cfg.scheme = OrderingScheme::Exclusive;
+        const auto excl = runSim(*trace, cfg);
+        cfg.scheme = OrderingScheme::Perfect;
+        const auto perf = runSim(*trace, cfg);
+
+        wt.startRow();
+        wt.cell(strprintf("%d", w));
+        wt.cell(trad.ipc(), 2);
+        wt.cell(excl.ipc(), 2);
+        wt.cell(perf.ipc(), 2);
+        wt.cell(excl.speedupOver(trad), 3);
+    }
+    wt.print(std::cout);
+
+    // Part 2: CHT organisation shoot-out at the base window.
+    std::cout << "\n--- CHT organisations (inclusive scheme, 32-entry "
+                 "window) ---\n";
+    TextTable ct({"CHT", "bits", "speedup", "AC-PC", "AC-PNC",
+                  "ANC-PC", "penalized"});
+    MachineConfig base;
+    base.scheme = OrderingScheme::Traditional;
+    const auto trad = runSim(*trace, base);
+
+    for (const auto kind :
+         {ChtKind::Full, ChtKind::TagOnly, ChtKind::Tagless,
+          ChtKind::Combined}) {
+        for (const std::size_t entries : {512, 2048}) {
+            MachineConfig cfg;
+            cfg.scheme = OrderingScheme::Inclusive;
+            cfg.cht = makeCht(kind, entries);
+            const auto r = runSim(*trace, cfg);
+            const double conf =
+                static_cast<double>(r.conflicting());
+            ct.startRow();
+            ct.cell(Cht(cfg.cht).name());
+            ct.cell(strprintf("%zu", Cht(cfg.cht).storageBits()));
+            ct.cell(r.speedupOver(trad), 3);
+            ct.cellPct(conf ? r.acPc / conf : 0, 2);
+            ct.cellPct(conf ? r.acPnc / conf : 0, 2);
+            ct.cellPct(conf ? r.ancPc / conf : 0, 2);
+            ct.cell(strprintf("%llu", static_cast<unsigned long long>(
+                                          r.collisionPenalties)));
+        }
+    }
+    ct.print(std::cout);
+
+    std::cout << "\nReading guide: AC-PC is a caught collision (good), "
+                 "AC-PNC risks a re-execution,\nANC-PC is a lost "
+                 "bypassing opportunity. The sticky TagOnly CHT "
+                 "minimises AC-PNC;\nthe Full CHT minimises ANC-PC "
+                 "(section 4.1 of the paper).\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hit-miss prediction walkthrough.
+ *
+ * For one trace, evaluates every hit-miss predictor configuration
+ * first statistically (prediction quality, as in Figure 10) and then
+ * in the pipeline (speedup over the always-hit baseline, as in
+ * Figure 11), demonstrating the correlation between the two that the
+ * paper reports.
+ *
+ * Usage: hitmiss_demo [trace-name] [length]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.hh"
+#include "core/analysis.hh"
+#include "core/runner.hh"
+
+using namespace lrs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "gcc";
+    const std::uint64_t length =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+
+    auto trace = TraceLibrary::make(TraceLibrary::byName(name, length));
+    std::cout << "hit-miss prediction on trace '" << name << "' ("
+              << length << " uops)\n\n";
+
+    // Part 1: statistical quality (no effect on scheduling).
+    std::cout << "--- statistical accuracy ---\n";
+    TextTable st({"predictor", "KB", "miss rate", "coverage (AM-PM)",
+                  "false miss (AH-PM)"});
+    for (const char *which : {"local", "chooser", "local+timing"}) {
+        auto hmp = makeHmp(which);
+        const auto s = analyzeHitMiss(*trace, *hmp);
+        st.startRow();
+        st.cell(which);
+        st.cell(static_cast<double>(hmp->storageBits()) / 8192.0, 2);
+        st.cellPct(s.missRate(), 2);
+        st.cellPct(s.coverage(), 1);
+        st.cellPct(s.falseMissFrac(), 2);
+    }
+    st.print(std::cout);
+
+    // Part 2: pipeline effect on the paper's Figure-11 machine
+    // (4 general units, 2 memory units, perfect disambiguation).
+    std::cout << "\n--- pipeline speedup over always-hit ---\n";
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Perfect;
+    cfg.intUnits = 4;
+    cfg.memUnits = 2;
+    cfg.hmp = HmpKind::AlwaysHit;
+    const auto baseline = runSim(*trace, cfg);
+
+    TextTable pt({"predictor", "IPC", "speedup", "wasted issues",
+                  "AM-PM", "AH-PM"});
+    const std::pair<const char *, HmpKind> kinds[] = {
+        {"always-hit", HmpKind::AlwaysHit},
+        {"local", HmpKind::Local},
+        {"chooser", HmpKind::Chooser},
+        {"local+timing", HmpKind::LocalTiming},
+        {"perfect", HmpKind::Perfect},
+    };
+    for (const auto &[label, kind] : kinds) {
+        cfg.hmp = kind;
+        const auto r = runSim(*trace, cfg);
+        pt.startRow();
+        pt.cell(label);
+        pt.cell(r.ipc(), 2);
+        pt.cell(r.speedupOver(baseline), 3);
+        pt.cell(strprintf("%llu", static_cast<unsigned long long>(
+                                      r.wastedIssues)));
+        pt.cell(strprintf("%llu",
+                          static_cast<unsigned long long>(r.amPm)));
+        pt.cell(strprintf("%llu",
+                          static_cast<unsigned long long>(r.ahPm)));
+    }
+    pt.print(std::cout);
+
+    std::cout << "\nAM-PM (caught misses) buys exact wakeups; AH-PM "
+                 "(false miss predictions)\ndelays dependents by the "
+                 "hit-indication latency — the asymmetry that makes\n"
+                 "the majority chooser attractive (section 2.2).\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in the synthetic trace generator flows from a
+ * single per-trace seed through this generator, so every simulation run
+ * is bit-reproducible across hosts and build modes. The implementation
+ * is xorshift128+ (fast, decent statistical quality, trivially
+ * portable); it is NOT intended for cryptographic use.
+ */
+
+#ifndef LRS_COMMON_RANDOM_HH
+#define LRS_COMMON_RANDOM_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace lrs
+{
+
+/**
+ * Deterministic xorshift128+ pseudo-random generator.
+ *
+ * A zero seed is remapped internally so the state never collapses to
+ * all-zero (which would make xorshift emit zeros forever).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Reset the generator to a reproducible state derived from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the 128-bit state.
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            *s = x ^ (x >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 0x1234567890abcdefULL;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Multiply-shift trick; bias is negligible for our bounds.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0); // 2^-53
+    }
+
+    /**
+     * Geometric-ish burst length: returns >=1, mean roughly
+     * 1/(1-continue_p) for continue_p in [0,1).
+     */
+    std::uint64_t
+    burst(double continue_p, std::uint64_t cap = 64)
+    {
+        std::uint64_t n = 1;
+        while (n < cap && chance(continue_p))
+            ++n;
+        return n;
+    }
+
+  private:
+    std::uint64_t s0_ = 0;
+    std::uint64_t s1_ = 0;
+};
+
+} // namespace lrs
+
+#endif // LRS_COMMON_RANDOM_HH

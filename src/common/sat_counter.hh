@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Saturating counters and the sticky bit, the building blocks of every
+ * binary predictor in the paper (collision, hit-miss, bank, branch).
+ */
+
+#ifndef LRS_COMMON_SAT_COUNTER_HH
+#define LRS_COMMON_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace lrs
+{
+
+/**
+ * An n-bit saturating up/down counter.
+ *
+ * The counter predicts "taken" (colliding / miss / bank 1 ...) when its
+ * value is in the upper half of its range. A 1-bit counter degenerates
+ * to last-outcome; the paper's CHT uses 1-bit and 2-bit variants and
+ * its hit-miss/bank predictor components use 2-bit and 3-bit variants.
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned num_bits = 2, std::uint8_t initial = 0)
+        : bits_(num_bits), val_(initial)
+    {
+        assert(num_bits >= 1 && num_bits <= 7);
+        assert(initial <= maxVal());
+    }
+
+    /** Largest representable value. */
+    std::uint8_t maxVal() const { return (1u << bits_) - 1; }
+
+    /** Threshold at or above which the prediction is "taken". */
+    std::uint8_t threshold() const { return 1u << (bits_ - 1); }
+
+    /** Current raw value. */
+    std::uint8_t value() const { return val_; }
+
+    /** Binary prediction derived from the value. */
+    bool predict() const { return val_ >= threshold(); }
+
+    /**
+     * Confidence in [0,1]: distance of the counter from its decision
+     * threshold, normalised. A freshly flipped counter has low
+     * confidence; a saturated one has confidence 1.
+     */
+    double
+    confidence() const
+    {
+        const int t = threshold();
+        const int d = predict() ? (val_ - t + 1) : (t - val_);
+        return static_cast<double>(d) / t;
+    }
+
+    /** Train toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (val_ < maxVal())
+                ++val_;
+        } else {
+            if (val_ > 0)
+                --val_;
+        }
+    }
+
+    /** Force a specific value (used by table reset policies). */
+    void
+    set(std::uint8_t v)
+    {
+        assert(v <= maxVal());
+        val_ = v;
+    }
+
+  private:
+    std::uint8_t bits_;
+    std::uint8_t val_;
+};
+
+/**
+ * A sticky bit: once set it stays set until explicitly cleared.
+ *
+ * This is the paper's cheapest collision predictor — biased to
+ * mispredict on the safe side (a load that collided once is predicted
+ * colliding forever), and removable entirely in the 0-bit tag-only CHT.
+ */
+class StickyBit
+{
+  public:
+    bool predict() const { return set_; }
+
+    /** Training can only set the bit, never clear it. */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            set_ = true;
+    }
+
+    /** Explicit clear, used by cyclic-clearing policies [Chry98]. */
+    void clear() { set_ = false; }
+
+  private:
+    bool set_ = false;
+};
+
+} // namespace lrs
+
+#endif // LRS_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, ratios, histograms
+ * and a fixed-width table printer used by the figure benches to emit
+ * paper-style rows.
+ */
+
+#ifndef LRS_COMMON_STATS_HH
+#define LRS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lrs
+{
+
+/**
+ * A monotonically increasing event counter.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running scalar statistics (count / mean / min / max) over samples.
+ */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, buckets*width) with an overflow
+ * bucket. Used e.g. for load-store collision distance distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t num_buckets, double bucket_width);
+
+    void sample(double v, std::uint64_t weight = 1);
+    void reset();
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    double bucketWidth() const { return width_; }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples at or below bucket @p i (inclusive CDF). */
+    double cdfAt(std::size_t i) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double width_;
+};
+
+/**
+ * Fixed-width console table: the benches use it to print the same rows
+ * and series the paper's figures report.
+ *
+ * Columns are declared once; rows are added as strings or doubles and
+ * the whole table is emitted with aligned columns and a separator rule.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; values are appended with cell()/cellf(). */
+    void startRow();
+    void cell(const std::string &s);
+    void cell(double v, int precision = 3);
+    void cellPct(double fraction, int precision = 2);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style helper returning std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace lrs
+
+#endif // LRS_COMMON_STATS_HH

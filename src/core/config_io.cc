@@ -1,0 +1,355 @@
+#include "core/config_io.hh"
+
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/stats.hh"
+
+namespace lrs
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+parseBool(const std::string &v)
+{
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    throw std::invalid_argument("not a boolean: " + v);
+}
+
+std::uint64_t
+parseU64(const std::string &v)
+{
+    std::size_t pos = 0;
+    const auto n = std::stoull(v, &pos);
+    if (pos != v.size())
+        throw std::invalid_argument("not an integer: " + v);
+    return n;
+}
+
+} // namespace
+
+OrderingScheme
+parseOrderingScheme(const std::string &s)
+{
+    if (s == "traditional") return OrderingScheme::Traditional;
+    if (s == "opportunistic") return OrderingScheme::Opportunistic;
+    if (s == "postponing") return OrderingScheme::Postponing;
+    if (s == "inclusive") return OrderingScheme::Inclusive;
+    if (s == "exclusive") return OrderingScheme::Exclusive;
+    if (s == "perfect") return OrderingScheme::Perfect;
+    if (s == "storebarrier") return OrderingScheme::StoreBarrier;
+    if (s == "storesets") return OrderingScheme::StoreSets;
+    throw std::invalid_argument("unknown scheme: " + s);
+}
+
+HmpKind
+parseHmpKind(const std::string &s)
+{
+    if (s == "always-hit") return HmpKind::AlwaysHit;
+    if (s == "local") return HmpKind::Local;
+    if (s == "chooser") return HmpKind::Chooser;
+    if (s == "local+timing") return HmpKind::LocalTiming;
+    if (s == "perfect") return HmpKind::Perfect;
+    throw std::invalid_argument("unknown hmp: " + s);
+}
+
+BankMode
+parseBankMode(const std::string &s)
+{
+    if (s == "multiported") return BankMode::TrueMultiPorted;
+    if (s == "conventional") return BankMode::Conventional;
+    if (s == "dual") return BankMode::DualScheduled;
+    if (s == "sliced") return BankMode::Sliced;
+    throw std::invalid_argument("unknown bank mode: " + s);
+}
+
+BankPredKind
+parseBankPredKind(const std::string &s)
+{
+    if (s == "none") return BankPredKind::None;
+    if (s == "A") return BankPredKind::A;
+    if (s == "B") return BankPredKind::B;
+    if (s == "C") return BankPredKind::C;
+    if (s == "addr") return BankPredKind::Addr;
+    throw std::invalid_argument("unknown bank predictor: " + s);
+}
+
+ChtKind
+parseChtKind(const std::string &s)
+{
+    if (s == "full") return ChtKind::Full;
+    if (s == "tagonly") return ChtKind::TagOnly;
+    if (s == "tagless") return ChtKind::Tagless;
+    if (s == "combined") return ChtKind::Combined;
+    throw std::invalid_argument("unknown CHT kind: " + s);
+}
+
+MachineConfig
+machineConfigFromIni(std::istream &is, MachineConfig base)
+{
+    using Setter =
+        std::function<void(MachineConfig &, const std::string &)>;
+    static const std::map<std::string, Setter> setters = {
+        {"scheme",
+         [](MachineConfig &c, const std::string &v) {
+             c.scheme = parseOrderingScheme(v);
+         }},
+        {"hmp",
+         [](MachineConfig &c, const std::string &v) {
+             c.hmp = parseHmpKind(v);
+         }},
+        {"bank_mode",
+         [](MachineConfig &c, const std::string &v) {
+             c.bankMode = parseBankMode(v);
+         }},
+        {"bank_pred",
+         [](MachineConfig &c, const std::string &v) {
+             c.bankPred = parseBankPredKind(v);
+         }},
+        {"num_banks",
+         [](MachineConfig &c, const std::string &v) {
+             c.numBanks = static_cast<unsigned>(parseU64(v));
+         }},
+        {"sched_window",
+         [](MachineConfig &c, const std::string &v) {
+             c.schedWindow = static_cast<int>(parseU64(v));
+         }},
+        {"rob_size",
+         [](MachineConfig &c, const std::string &v) {
+             c.robSize = static_cast<int>(parseU64(v));
+         }},
+        {"reg_pool",
+         [](MachineConfig &c, const std::string &v) {
+             c.regPool = static_cast<int>(parseU64(v));
+         }},
+        {"fetch_width",
+         [](MachineConfig &c, const std::string &v) {
+             c.fetchWidth = static_cast<int>(parseU64(v));
+         }},
+        {"retire_width",
+         [](MachineConfig &c, const std::string &v) {
+             c.retireWidth = static_cast<int>(parseU64(v));
+         }},
+        {"int_units",
+         [](MachineConfig &c, const std::string &v) {
+             c.intUnits = static_cast<int>(parseU64(v));
+         }},
+        {"mem_units",
+         [](MachineConfig &c, const std::string &v) {
+             c.memUnits = static_cast<int>(parseU64(v));
+         }},
+        {"fp_units",
+         [](MachineConfig &c, const std::string &v) {
+             c.fpUnits = static_cast<int>(parseU64(v));
+         }},
+        {"complex_units",
+         [](MachineConfig &c, const std::string &v) {
+             c.complexUnits = static_cast<int>(parseU64(v));
+         }},
+        {"std_ports",
+         [](MachineConfig &c, const std::string &v) {
+             c.stdPorts = static_cast<int>(parseU64(v));
+         }},
+        {"collision_penalty",
+         [](MachineConfig &c, const std::string &v) {
+             c.collisionPenalty = parseU64(v);
+         }},
+        {"branch_mispredict_penalty",
+         [](MachineConfig &c, const std::string &v) {
+             c.branchMispredictPenalty = parseU64(v);
+         }},
+        {"replay_backoff",
+         [](MachineConfig &c, const std::string &v) {
+             c.replayBackoff = parseU64(v);
+         }},
+        {"reschedule_penalty",
+         [](MachineConfig &c, const std::string &v) {
+             c.reschedulePenalty = parseU64(v);
+         }},
+        {"ahpm_penalty",
+         [](MachineConfig &c, const std::string &v) {
+             c.ahpmPenalty = parseU64(v);
+         }},
+        {"exclusive_spec_forward",
+         [](MachineConfig &c, const std::string &v) {
+             c.exclusiveSpecForward = parseBool(v);
+         }},
+        {"stride_prefetch",
+         [](MachineConfig &c, const std::string &v) {
+             c.stridePrefetch = parseBool(v);
+         }},
+        {"prefetch_degree",
+         [](MachineConfig &c, const std::string &v) {
+             c.prefetchDegree = static_cast<unsigned>(parseU64(v));
+         }},
+        {"cht_kind",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.kind = parseChtKind(v);
+         }},
+        {"cht_entries",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.entries = parseU64(v);
+         }},
+        {"cht_assoc",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.assoc = static_cast<unsigned>(parseU64(v));
+         }},
+        {"cht_counter_bits",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.counterBits = static_cast<unsigned>(parseU64(v));
+         }},
+        {"cht_sticky",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.sticky = parseBool(v);
+         }},
+        {"cht_track_distance",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.trackDistance = parseBool(v);
+         }},
+        {"cht_clear_interval",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.clearInterval = parseU64(v);
+         }},
+        {"cht_path_bits",
+         [](MachineConfig &c, const std::string &v) {
+             c.cht.pathBits = static_cast<unsigned>(parseU64(v));
+         }},
+        {"l1_bytes",
+         [](MachineConfig &c, const std::string &v) {
+             c.mem.l1.sizeBytes = parseU64(v);
+         }},
+        {"l2_bytes",
+         [](MachineConfig &c, const std::string &v) {
+             c.mem.l2.sizeBytes = parseU64(v);
+         }},
+        {"mem_latency",
+         [](MachineConfig &c, const std::string &v) {
+             c.mem.memLatency = parseU64(v);
+         }},
+    };
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto comment = line.find_first_of("#;");
+        if (comment != std::string::npos)
+            line.resize(comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument(
+                strprintf("config line %d: expected key = value",
+                          lineno));
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        const auto it = setters.find(key);
+        if (it == setters.end()) {
+            throw std::invalid_argument(
+                strprintf("config line %d: unknown key '%s'", lineno,
+                          key.c_str()));
+        }
+        it->second(base, value);
+    }
+    return base;
+}
+
+MachineConfig
+machineConfigFromFile(const std::string &path, MachineConfig base)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw std::invalid_argument("cannot open config: " + path);
+    return machineConfigFromIni(f, base);
+}
+
+std::string
+machineConfigToIni(const MachineConfig &cfg)
+{
+    std::ostringstream os;
+    const auto scheme_name = [&] {
+        std::string s = orderingSchemeName(cfg.scheme);
+        for (auto &c : s)
+            c = static_cast<char>(std::tolower(c));
+        return s;
+    }();
+    os << "# lrs machine configuration\n";
+    os << "scheme = " << scheme_name << "\n";
+    os << "hmp = " << hmpKindName(cfg.hmp) << "\n";
+    os << "bank_mode = "
+       << (cfg.bankMode == BankMode::TrueMultiPorted ? "multiported"
+           : cfg.bankMode == BankMode::Conventional  ? "conventional"
+           : cfg.bankMode == BankMode::DualScheduled ? "dual"
+                                                     : "sliced")
+       << "\n";
+    os << "bank_pred = " << bankPredKindName(cfg.bankPred) << "\n";
+    os << "num_banks = " << cfg.numBanks << "\n";
+    os << "sched_window = " << cfg.schedWindow << "\n";
+    os << "rob_size = " << cfg.robSize << "\n";
+    os << "reg_pool = " << cfg.regPool << "\n";
+    os << "fetch_width = " << cfg.fetchWidth << "\n";
+    os << "retire_width = " << cfg.retireWidth << "\n";
+    os << "int_units = " << cfg.intUnits << "\n";
+    os << "mem_units = " << cfg.memUnits << "\n";
+    os << "fp_units = " << cfg.fpUnits << "\n";
+    os << "complex_units = " << cfg.complexUnits << "\n";
+    os << "std_ports = " << cfg.stdPorts << "\n";
+    os << "collision_penalty = " << cfg.collisionPenalty << "\n";
+    os << "branch_mispredict_penalty = "
+       << cfg.branchMispredictPenalty << "\n";
+    os << "replay_backoff = " << cfg.replayBackoff << "\n";
+    os << "reschedule_penalty = " << cfg.reschedulePenalty << "\n";
+    os << "ahpm_penalty = " << cfg.ahpmPenalty << "\n";
+    os << "exclusive_spec_forward = "
+       << (cfg.exclusiveSpecForward ? "true" : "false") << "\n";
+    os << "stride_prefetch = "
+       << (cfg.stridePrefetch ? "true" : "false") << "\n";
+    os << "prefetch_degree = " << cfg.prefetchDegree << "\n";
+    const auto cht_kind = [&] {
+        switch (cfg.cht.kind) {
+          case ChtKind::Full: return "full";
+          case ChtKind::TagOnly: return "tagonly";
+          case ChtKind::Tagless: return "tagless";
+          case ChtKind::Combined: return "combined";
+        }
+        return "?";
+    }();
+    os << "cht_kind = " << cht_kind << "\n";
+    os << "cht_entries = " << cfg.cht.entries << "\n";
+    os << "cht_assoc = " << cfg.cht.assoc << "\n";
+    os << "cht_counter_bits = " << cfg.cht.counterBits << "\n";
+    os << "cht_sticky = " << (cfg.cht.sticky ? "true" : "false")
+       << "\n";
+    os << "cht_track_distance = "
+       << (cfg.cht.trackDistance ? "true" : "false") << "\n";
+    os << "cht_clear_interval = " << cfg.cht.clearInterval << "\n";
+    os << "cht_path_bits = " << cfg.cht.pathBits << "\n";
+    os << "l1_bytes = " << cfg.mem.l1.sizeBytes << "\n";
+    os << "l2_bytes = " << cfg.mem.l2.sizeBytes << "\n";
+    os << "mem_latency = " << cfg.mem.memLatency << "\n";
+    return os.str();
+}
+
+} // namespace lrs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Machine-configuration text I/O.
+ *
+ * Parses a small INI-style format ("key = value" lines, '#' or ';'
+ * comments) into a MachineConfig, and serialises one back, so
+ * experiment configurations can be versioned next to results instead
+ * of living in command lines. Also exports the enum parsers shared
+ * with the lrs_sim CLI.
+ */
+
+#ifndef LRS_CORE_CONFIG_IO_HH
+#define LRS_CORE_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hh"
+
+namespace lrs
+{
+
+// Enum parsers (throw std::invalid_argument on unknown names).
+OrderingScheme parseOrderingScheme(const std::string &s);
+HmpKind parseHmpKind(const std::string &s);
+BankMode parseBankMode(const std::string &s);
+BankPredKind parseBankPredKind(const std::string &s);
+ChtKind parseChtKind(const std::string &s);
+
+/**
+ * Apply "key = value" lines from @p is on top of @p base.
+ *
+ * Recognised keys (see machineConfigToIni() for the full list with
+ * current values): scheme, hmp, bank_mode, bank_pred, num_banks,
+ * sched_window, rob_size, reg_pool, fetch_width, retire_width,
+ * int_units, mem_units, fp_units, complex_units, std_ports,
+ * collision_penalty, branch_mispredict_penalty, replay_backoff,
+ * reschedule_penalty, ahpm_penalty, exclusive_spec_forward,
+ * cht_kind, cht_entries, cht_assoc, cht_counter_bits, cht_sticky,
+ * cht_track_distance, cht_clear_interval, cht_path_bits,
+ * l1_bytes, l2_bytes, mem_latency.
+ *
+ * @throws std::invalid_argument on unknown keys or malformed values.
+ */
+MachineConfig machineConfigFromIni(std::istream &is,
+                                   MachineConfig base = {});
+
+/** Load a configuration file from @p path. */
+MachineConfig machineConfigFromFile(const std::string &path,
+                                    MachineConfig base = {});
+
+/** Serialise @p cfg to the INI format machineConfigFromIni() reads. */
+std::string machineConfigToIni(const MachineConfig &cfg);
+
+} // namespace lrs
+
+#endif // LRS_CORE_CONFIG_IO_HH

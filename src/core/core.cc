@@ -1,0 +1,980 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutils.hh"
+
+namespace lrs
+{
+
+const char *
+orderingSchemeName(OrderingScheme s)
+{
+    switch (s) {
+      case OrderingScheme::Traditional:   return "Traditional";
+      case OrderingScheme::Opportunistic: return "Opportunistic";
+      case OrderingScheme::Postponing:    return "Postponing";
+      case OrderingScheme::Inclusive:     return "Inclusive";
+      case OrderingScheme::Exclusive:     return "Exclusive";
+      case OrderingScheme::Perfect:       return "Perfect";
+      case OrderingScheme::StoreBarrier:  return "StoreBarrier";
+      case OrderingScheme::StoreSets:     return "StoreSets";
+    }
+    return "?";
+}
+
+const char *
+bankModeName(BankMode m)
+{
+    switch (m) {
+      case BankMode::TrueMultiPorted: return "true-multiported";
+      case BankMode::Conventional:    return "conventional-banked";
+      case BankMode::DualScheduled:   return "dual-scheduled";
+      case BankMode::Sliced:          return "sliced-banked";
+    }
+    return "?";
+}
+
+const char *
+bankPredKindName(BankPredKind k)
+{
+    switch (k) {
+      case BankPredKind::None: return "none";
+      case BankPredKind::A:    return "A";
+      case BankPredKind::B:    return "B";
+      case BankPredKind::C:    return "C";
+      case BankPredKind::Addr: return "addr";
+    }
+    return "?";
+}
+
+const char *
+hmpKindName(HmpKind k)
+{
+    switch (k) {
+      case HmpKind::AlwaysHit:   return "always-hit";
+      case HmpKind::Local:       return "local";
+      case HmpKind::Chooser:     return "chooser";
+      case HmpKind::LocalTiming: return "local+timing";
+      case HmpKind::Perfect:     return "perfect";
+    }
+    return "?";
+}
+
+OooCore::OooCore(const MachineConfig &cfg)
+    : cfg_(cfg), mem_(cfg.mem),
+      branchPred_(cfg.branchHistBits, 2, /*initial=weakly taken*/ 2),
+      rob_(cfg.robSize),
+      renameTable_(kNumArchRegs, -1), renameSeq_(kNumArchRegs, 0)
+{
+    assert(cfg_.robSize > 0 && cfg_.schedWindow > 0);
+    assert(cfg_.schedWindow <= cfg_.robSize);
+
+    if (cfg_.usesCht() || cfg_.chtShadow) {
+        ChtParams cp = cfg_.cht;
+        if (cfg_.scheme == OrderingScheme::Exclusive)
+            cp.trackDistance = true;
+        cht_ = std::make_unique<Cht>(cp);
+    }
+
+    switch (cfg_.hmp) {
+      case HmpKind::Local:
+        hmp_ = makeLocalHmp();
+        break;
+      case HmpKind::Chooser:
+        hmp_ = makeChooserHmp();
+        break;
+      case HmpKind::LocalTiming:
+        hmp_ = makeTimingLocalHmp();
+        break;
+      case HmpKind::AlwaysHit:
+      case HmpKind::Perfect:
+        hmp_.reset();
+        break;
+    }
+
+    switch (cfg_.bankPred) {
+      case BankPredKind::A:
+        bankPred_ = makeBankPredictorA();
+        break;
+      case BankPredKind::B:
+        bankPred_ = makeBankPredictorB();
+        break;
+      case BankPredKind::C:
+        bankPred_ = makeBankPredictorC();
+        break;
+      case BankPredKind::Addr:
+        bankPred_ = makeAddressBankPredictor();
+        break;
+      case BankPredKind::None:
+        break;
+    }
+    assert(cfg_.bankMode != BankMode::Sliced || bankPred_ != nullptr);
+    assert(cfg_.numBanks >= 1 && cfg_.numBanks <= 8 &&
+           isPowerOf2(cfg_.numBanks));
+
+    switch (cfg_.bankMode) {
+      case BankMode::Conventional:
+        memPipeExtraLat_ = cfg_.conventionalExtraLat;
+        break;
+      case BankMode::DualScheduled:
+        memPipeExtraLat_ = cfg_.dualSchedExtraLat;
+        break;
+      default:
+        memPipeExtraLat_ = 0;
+        break;
+    }
+
+    if (cfg_.scheme == OrderingScheme::StoreBarrier) {
+        barrierCache_ =
+            std::make_unique<BimodalPredictor>(cfg_.barrierEntries);
+    }
+
+    if (cfg_.scheme == OrderingScheme::StoreSets) {
+        storeSets_ = std::make_unique<StoreSets>(cfg_.ssitEntries,
+                                                 cfg_.storeSetCount);
+    }
+
+    if (cfg_.stridePrefetch)
+        prefetcher_ = std::make_unique<LoadAddressPredictor>(1024);
+}
+
+OooCore::~OooCore() = default;
+
+SimResult
+OooCore::run(TraceStream &trace)
+{
+    res_ = SimResult{};
+    res_.trace = trace.name();
+    res_.config = std::string(orderingSchemeName(cfg_.scheme)) + "/" +
+                  hmpKindName(cfg_.hmp);
+
+    trace.reset();
+    now_ = 0;
+    headSeq_ = nextSeq_ = 0;
+    rsCount_ = 0;
+    poolUsed_ = 0;
+    fetchBlockedUntil_ = 0;
+    branchPending_ = false;
+    haveLastSta_ = false;
+    pathHist_ = 0;
+    traceDone_ = false;
+    std::fill(renameTable_.begin(), renameTable_.end(), -1);
+    pendingCollision_.clear();
+    mob_.clear();
+
+    while (!traceDone_ || headSeq_ != nextSeq_) {
+        resolvePendingCollisions();
+        retireStage();
+        issueStage();
+        renameStage(trace);
+        ++now_;
+        // A stuck machine is a simulator bug; fail loudly.
+        assert(now_ < (trace.size() + 1000) * 64 &&
+               "simulated core appears deadlocked");
+    }
+    res_.cycles = now_;
+    return res_;
+}
+
+Cycle
+OooCore::srcEstimate(int slot, SeqNum seq) const
+{
+    if (slot < 0)
+        return 0;
+    const RobEntry &p = rob_[slot];
+    if (p.seq != seq || !inWindow(seq))
+        return 0; // producer retired: value architecturally ready
+    return p.estReady;
+}
+
+Cycle
+OooCore::srcActual(int slot, SeqNum seq) const
+{
+    if (slot < 0)
+        return 0;
+    const RobEntry &p = rob_[slot];
+    if (p.seq != seq || !inWindow(seq))
+        return 0;
+    return p.actualReady;
+}
+
+void
+OooCore::resolvePendingCollisions()
+{
+    if (pendingCollision_.empty())
+        return;
+    auto it = pendingCollision_.begin();
+    while (it != pendingCollision_.end()) {
+        RobEntry &e = rob_[*it];
+        if (!e.waitingOnStore) {
+            it = pendingCollision_.erase(it);
+            continue;
+        }
+        const Mob::StoreRec *rec = mob_.get(e.waitStoreSeq);
+        if (rec == nullptr) {
+            // The store retired, so both its parts completed earlier;
+            // release the load with the penalty from now.
+            e.actualReady = e.estReady = e.completeAt =
+                now_ + cfg_.collisionPenalty;
+            e.waitingOnStore = false;
+            ++res_.forwarded;
+            it = pendingCollision_.erase(it);
+            continue;
+        }
+        if (rec->staDoneAt != kCycleNever &&
+            rec->stdDoneAt != kCycleNever) {
+            const Cycle data =
+                std::max(now_, std::max(rec->staDoneAt,
+                                        rec->stdDoneAt)) +
+                cfg_.collisionPenalty + cfg_.mem.l1.latency;
+            e.actualReady = e.estReady = e.completeAt = data;
+            e.waitingOnStore = false;
+            ++res_.forwarded;
+            if (e.violationSquash)
+                fetchBlockedUntil_ = std::max(fetchBlockedUntil_, data);
+            it = pendingCollision_.erase(it);
+            continue;
+        }
+        ++it;
+    }
+}
+
+void
+OooCore::countLoadClass(const RobEntry &e)
+{
+    switch (e.cls) {
+      case LoadClass::NotConflicting:
+        ++res_.notConflicting;
+        break;
+      case LoadClass::ConflictNotColliding:
+        if (e.predColliding)
+            ++res_.ancPc;
+        else
+            ++res_.ancPnc;
+        break;
+      case LoadClass::Colliding:
+        if (e.predColliding)
+            ++res_.acPc;
+        else
+            ++res_.acPnc;
+        break;
+      case LoadClass::Unclassified:
+        // Should not happen: every load is classified before issue.
+        assert(false && "retiring unclassified load");
+        break;
+    }
+}
+
+void
+OooCore::retireStage()
+{
+    int retired = 0;
+    while (headSeq_ != nextSeq_ && retired < cfg_.retireWidth) {
+        RobEntry &e = rob_[slotOf(headSeq_)];
+        if (e.state != State::Issued || e.completeAt > now_)
+            break;
+
+        ++res_.uops;
+        const Uop &u = e.uop;
+        if (u.isLoad()) {
+            ++res_.loads;
+            countLoadClass(e);
+            if (cht_) {
+                cht_->update(u.pc, e.cls == LoadClass::Colliding,
+                             e.actualDistance, e.pathAtPredict);
+            }
+            if (hmp_)
+                hmp_->update(u.pc, e.hmActualMiss, u.addr);
+        } else if (u.isSta()) {
+            ++res_.stores;
+        } else if (u.isStd()) {
+            // The store leaves the MOB window only once its data part
+            // retires; until then younger loads must still see it.
+            if (barrierCache_ || storeSets_) {
+                const Mob::StoreRec *rec = mob_.get(e.pairSeq);
+                assert(rec != nullptr);
+                // [Hess95]: increment on a caused violation,
+                // decrement otherwise.
+                if (barrierCache_)
+                    barrierCache_->update(rec->pc,
+                                          rec->causedViolation);
+                // [Chry98]: the completed store empties its LFST
+                // slot.
+                if (storeSets_)
+                    storeSets_->storeCompleted(rec->pc, rec->seq);
+            }
+            mob_.retire(e.pairSeq);
+        } else if (u.isBranch()) {
+            ++res_.branches;
+            if (e.mispredictedBranch)
+                ++res_.branchMispredicts;
+        }
+        if (u.dst >= 0)
+            --poolUsed_;
+        ++headSeq_;
+        ++retired;
+    }
+}
+
+bool
+OooCore::schemeAllowsLoad(const RobEntry &e) const
+{
+    const SeqNum seq = e.seq;
+    switch (cfg_.scheme) {
+      case OrderingScheme::Traditional:
+        return mob_.allOlderAddrKnown(seq, now_);
+      case OrderingScheme::Opportunistic:
+        return true;
+      case OrderingScheme::Postponing:
+        if (!mob_.allOlderAddrKnown(seq, now_))
+            return false;
+        return !e.predColliding || mob_.allOlderDataKnown(seq, now_);
+      case OrderingScheme::Inclusive:
+        return !e.predColliding || mob_.allOlderComplete(seq, now_);
+      case OrderingScheme::Exclusive: {
+        if (!e.predColliding)
+            return true;
+        if (!e.hasExclTarget) {
+            // Colliding but no distance annotation yet: inclusive
+            // behaviour (wait for everything older).
+            return mob_.allOlderComplete(seq, now_);
+        }
+        const Mob::StoreRec *s = mob_.get(e.exclStoreSeq);
+        if (s == nullptr || s->completeAt(now_))
+            return true;
+        // Speculative value forwarding: once the paired store's DATA
+        // is ready, the load may consume it without waiting for the
+        // address check.
+        return cfg_.exclusiveSpecForward && s->dataKnownAt(now_);
+      }
+      case OrderingScheme::Perfect: {
+        const Mob::StoreRec *m = mob_.youngestOverlapOlder(
+            seq, e.uop.addr, e.uop.memSize);
+        return m == nullptr || m->completeAt(now_);
+      }
+      case OrderingScheme::StoreBarrier:
+        // [Hess95]: loads may pass any store except those whose
+        // barrier counter fired at fetch time.
+        return !mob_.anyBarrierOlderIncomplete(seq, now_);
+      case OrderingScheme::StoreSets: {
+        // [Chry98]: wait for the set's last fetched store, if any.
+        if (e.ssWaitSeq == StoreSets::kNoStoreSeq)
+            return true;
+        const Mob::StoreRec *s = mob_.get(e.ssWaitSeq);
+        return s == nullptr || s->completeAt(now_);
+      }
+    }
+    return true;
+}
+
+void
+OooCore::classifyLoad(RobEntry &e)
+{
+    if (e.cls != LoadClass::Unclassified)
+        return;
+    // Colliding: the youngest older store overlapping the load's
+    // address is still incomplete — advancing the load would return
+    // stale data and force a re-execution (the collision penalty).
+    // This covers both the unknown-address case and the P6 "wrong
+    // load-STD ordering" case (address known, data not).
+    const Mob::StoreRec *m =
+        mob_.youngestOverlapOlder(e.seq, e.uop.addr, e.uop.memSize);
+    if (m != nullptr && !m->completeAt(now_)) {
+        e.cls = LoadClass::Colliding;
+        e.actualDistance =
+            mob_.overlapDistance(e.seq, e.uop.addr, e.uop.memSize);
+        return;
+    }
+    // Conflicting: some older store's address is unknown at the
+    // load's first schedule opportunity (the paper's definition), so
+    // the load cannot be proven independent yet.
+    if (mob_.anyUnknownAddrOlder(e.seq, now_))
+        e.cls = LoadClass::ConflictNotColliding;
+    else
+        e.cls = LoadClass::NotConflicting;
+}
+
+void
+OooCore::executeLoad(RobEntry &e)
+{
+    const Uop &u = e.uop;
+    // Train the bank predictor as soon as the address generates —
+    // waiting for retirement would leave in-flight instances of the
+    // same load unaccounted and make stride predictions lag.
+    if (bankPred_)
+        bankPred_->updateAddr(u.pc, u.addr, bankOf(u.addr));
+    // The memory-pipe organisation adds its structural latency here
+    // (crossbar/decision stage or second-level scheduler, Figure 4).
+    Cycle agu_done = now_ + cfg_.aguLat + memPipeExtraLat_;
+    const Cycle l1_lat = cfg_.mem.l1.latency;
+    if (e.bankMispredicted) {
+        // Sliced pipe, wrong bank: the load re-executes through the
+        // correct pipe once the bank is known.
+        ++res_.bankMispredicts;
+        agu_done += cfg_.aguLat + l1_lat;
+    }
+
+    // Consult the MOB with oracle addresses for the ordering outcome.
+    const Mob::StoreRec *m =
+        mob_.youngestOverlapOlder(e.seq, u.addr, u.memSize);
+
+    bool actual_miss = false;
+    bool lazy = false;
+    bool spec_forwarded = false;
+    Cycle data = 0;
+
+    // Exclusive pairing: take the paired store's data before its
+    // address resolved (section 2.1's value-forwarding extension).
+    if (cfg_.exclusiveSpecForward && e.predColliding &&
+        e.hasExclTarget) {
+        const Mob::StoreRec *pair = mob_.get(e.exclStoreSeq);
+        if (pair != nullptr && pair->dataKnownAt(now_) &&
+            !pair->addrKnownAt(now_)) {
+            ++res_.specForwards;
+            spec_forwarded = true;
+            if (pair == m) {
+                // Correct pairing: the data really is the load's.
+                data = agu_done + l1_lat;
+                ++res_.forwarded;
+            } else {
+                // Wrong pairing: detected when the pair's STA
+                // resolves; the load (and its slice) re-executes.
+                ++res_.specMisforwards;
+                ++res_.collisionPenalties;
+                e.collisionPenalized = true;
+                if (m != nullptr && (m->staDoneAt == kCycleNever ||
+                                     m->stdDoneAt == kCycleNever)) {
+                    lazy = true;
+                    e.waitingOnStore = true;
+                    e.violationSquash = true;
+                    e.waitStoreSeq = m->seq;
+                    pendingCollision_.push_back(slotOf(e.seq));
+                } else if (m != nullptr) {
+                    // Real producer is another (complete) store.
+                    data = std::max(agu_done,
+                                    std::max(m->staDoneAt,
+                                             m->stdDoneAt) +
+                                        cfg_.collisionPenalty) +
+                           l1_lat;
+                    fetchBlockedUntil_ =
+                        std::max(fetchBlockedUntil_, data);
+                    ++res_.forwarded;
+                } else {
+                    // Real value comes from memory: re-executed
+                    // access after the penalty.
+                    const auto acc = mem_.access(
+                        u.addr, agu_done + cfg_.collisionPenalty);
+                    data = acc.readyAt;
+                    actual_miss = !acc.l1Hit;
+                    fetchBlockedUntil_ =
+                        std::max(fetchBlockedUntil_, data);
+                }
+            }
+        }
+    }
+
+    if (spec_forwarded) {
+        // Timing resolved above; fall through to the HMP accounting.
+    } else if (m && m->completeAt(now_)) {
+        // Clean store-to-load forwarding.
+        data = agu_done + l1_lat;
+        ++res_.forwarded;
+    } else if (m) {
+        // The load was scheduled against an incomplete store it
+        // depends on: the wrong-ordering case. Its data is delayed to
+        // the store's completion plus the collision penalty,
+        // modelling the re-execution of the load.
+        ++res_.collisionPenalties;
+        e.collisionPenalized = true;
+        // If the store's address was not even resolved when the load
+        // executed, this is a true memory-order violation: it is only
+        // detected when the STA executes, and the machine recovers by
+        // squashing and re-executing the load's slice — modelled as a
+        // front-end disturbance until the load's re-execution
+        // completes (cf. the paper: "the wrongly advanced load and
+        // all its dependent instructions must be re-executed or even
+        // re-scheduled").
+        const bool violation = !m->addrKnownAt(now_);
+        if (violation)
+            ++res_.orderViolations;
+        // The dependence baselines train on the stores that caused
+        // wrong ordering.
+        mob_.markViolation(m->seq);
+        if (storeSets_) {
+            const Mob::StoreRec *vr = mob_.get(m->seq);
+            if (vr != nullptr)
+                storeSets_->violation(u.pc, vr->pc);
+        }
+        if (m->staDoneAt != kCycleNever && m->stdDoneAt != kCycleNever) {
+            // After the store completes and the re-schedule penalty
+            // elapses, the load re-executes and pays its access
+            // latency again.
+            data = std::max(agu_done,
+                            std::max(m->staDoneAt, m->stdDoneAt) +
+                                cfg_.collisionPenalty) +
+                   l1_lat;
+            ++res_.forwarded;
+            if (violation) {
+                // Detected when the STA executes; the squash-and-
+                // refetch recovery keeps the front end from making
+                // progress until the re-executed load's data returns.
+                fetchBlockedUntil_ =
+                    std::max(fetchBlockedUntil_, data);
+            }
+        } else {
+            lazy = true;
+            e.waitingOnStore = true;
+            e.violationSquash = violation;
+            e.waitStoreSeq = m->seq;
+            pendingCollision_.push_back(slotOf(e.seq));
+        }
+    } else {
+        // Normal cache access.
+        const auto acc = mem_.access(u.addr, agu_done);
+        data = acc.readyAt;
+        actual_miss = !acc.l1Hit;
+        if (acc.dynamicMiss)
+            ++res_.dynamicMisses;
+    }
+
+    if (prefetcher_) {
+        // Stride prefetch: run ahead of the predicted address stream,
+        // touching future lines so later instances hit or at least
+        // turn into dynamic misses that overlap.
+        const auto pf = prefetcher_->predict(u.pc);
+        prefetcher_->update(u.pc, u.addr);
+        if (pf.valid && pf.stride != 0) {
+            const std::int64_t stride = pf.stride;
+            const Addr line = cfg_.mem.l1.lineBytes;
+            for (unsigned d = 1; d <= cfg_.prefetchDegree; ++d) {
+                const Addr target = static_cast<Addr>(
+                    static_cast<std::int64_t>(u.addr) +
+                    stride * static_cast<std::int64_t>(d));
+                if (target / line != u.addr / line) {
+                    mem_.access(target, agu_done);
+                    ++res_.prefetches;
+                }
+            }
+        }
+    }
+
+    // Hit-miss prediction and the consumer wakeup estimate.
+    bool pred_miss = false;
+    switch (cfg_.hmp) {
+      case HmpKind::AlwaysHit:
+        pred_miss = false;
+        break;
+      case HmpKind::Perfect:
+        pred_miss = actual_miss;
+        break;
+      default: {
+        // Timing structures are indexed by address; the predictor
+        // supplies its (stride-)predicted line, and only then is the
+        // outstanding-miss queue consulted.
+        const Addr probe = hmp_->timingProbeAddr(u.pc);
+        if (probe != kAddrInvalid) {
+            const auto ti = mem_.timingInfo(probe, now_);
+            const HitMissPredictor::Hint hint{ti.outstandingMiss,
+                                              ti.recentFill};
+            pred_miss = hmp_->predictMiss(u.pc, &hint);
+        } else {
+            pred_miss = hmp_->predictMiss(u.pc, nullptr);
+        }
+        break;
+      }
+    }
+    e.hmPredMiss = pred_miss;
+    e.hmActualMiss = actual_miss;
+    if (actual_miss) {
+        ++res_.l1Misses;
+        if (pred_miss)
+            ++res_.amPm;
+        else
+            ++res_.amPh;
+    } else {
+        if (pred_miss)
+            ++res_.ahPm;
+        else
+            ++res_.ahPh;
+    }
+
+    if (lazy) {
+        // Wakeup blocked until the colliding store completes.
+        e.estReady = e.actualReady = e.completeAt = kCycleNever;
+        return;
+    }
+
+    e.actualReady = e.completeAt = data;
+    if (!pred_miss) {
+        // Scheduler assumes an L1 hit; consumers wake speculatively.
+        e.estReady = agu_done + l1_lat;
+    } else if (actual_miss) {
+        // Caught miss: consumers wake exactly when the data lands.
+        e.estReady = data;
+    } else {
+        // AH-PM: consumers wait for the hit indication.
+        e.estReady = data + cfg_.ahpmPenalty;
+    }
+}
+
+void
+OooCore::issueEntry(RobEntry &e)
+{
+    const Uop &u = e.uop;
+    e.state = State::Issued;
+    --rsCount_;
+
+    switch (u.cls) {
+      case UopClass::IntAlu:
+        e.actualReady = e.estReady = e.completeAt = now_ + cfg_.intLat;
+        break;
+      case UopClass::FpAlu:
+        e.actualReady = e.estReady = e.completeAt = now_ + cfg_.fpLat;
+        break;
+      case UopClass::Complex:
+        e.actualReady = e.estReady = e.completeAt =
+            now_ + cfg_.complexLat;
+        break;
+      case UopClass::Branch:
+        e.actualReady = e.estReady = e.completeAt =
+            now_ + cfg_.branchLat;
+        if (e.mispredictedBranch) {
+            branchPending_ = false;
+            fetchBlockedUntil_ =
+                std::max(fetchBlockedUntil_,
+                         e.completeAt + cfg_.branchMispredictPenalty);
+        }
+        break;
+      case UopClass::StoreAddr: {
+        const Cycle t = now_ + cfg_.aguLat;
+        e.actualReady = e.estReady = e.completeAt = t;
+        mob_.staExecuted(e.seq, t);
+        maybeTouchStore(e.seq);
+        if (bankPred_)
+            bankPred_->updateAddr(u.pc, u.addr, bankOf(u.addr));
+        break;
+      }
+      case UopClass::StoreData: {
+        const Cycle t = now_ + cfg_.stdLat;
+        e.actualReady = e.estReady = e.completeAt = t;
+        assert(e.isPairedStd);
+        mob_.stdExecuted(e.pairSeq, t);
+        maybeTouchStore(e.pairSeq);
+        break;
+      }
+      case UopClass::Load:
+        executeLoad(e);
+        break;
+    }
+}
+
+void
+OooCore::maybeTouchStore(SeqNum sta_seq)
+{
+    // Write-allocate the store's line once both parts have executed.
+    // Exactly one of the two issueEntry() calls (STA's or STD's, the
+    // later one) sees both timestamps known, so this touches once.
+    const Mob::StoreRec *rec = mob_.get(sta_seq);
+    assert(rec != nullptr);
+    if (rec->staDoneAt == kCycleNever || rec->stdDoneAt == kCycleNever)
+        return;
+    mem_.access(rec->addr, std::max(rec->staDoneAt, rec->stdDoneAt));
+}
+
+void
+OooCore::issueStage()
+{
+    int int_free = cfg_.intUnits;
+    int fp_free = cfg_.fpUnits;
+    int complex_free = cfg_.complexUnits;
+    int std_free = cfg_.stdPorts;
+
+    MemPorts mp;
+    mp.totalFree = cfg_.bankMode == BankMode::Sliced
+                       ? static_cast<int>(cfg_.numBanks)
+                       : cfg_.memUnits;
+    for (unsigned b = 0; b < cfg_.numBanks; ++b)
+        mp.bankFree[b] = 1;
+
+    for (SeqNum seq = headSeq_; seq != nextSeq_; ++seq) {
+        RobEntry &e = rob_[slotOf(seq)];
+        if (e.state != State::Waiting)
+            continue;
+
+        const bool is_mem = e.uop.isMem();
+        int *pool = nullptr;
+        switch (e.uop.cls) {
+          case UopClass::IntAlu:
+          case UopClass::Branch:
+            pool = &int_free;
+            break;
+          case UopClass::FpAlu:
+            pool = &fp_free;
+            break;
+          case UopClass::Complex:
+            pool = &complex_free;
+            break;
+          case UopClass::Load:
+          case UopClass::StoreAddr:
+            pool = &mp.totalFree;
+            break;
+          case UopClass::StoreData:
+            pool = &std_free;
+            break;
+        }
+
+        const Cycle a1 = srcActual(e.src1Slot, e.src1Seq);
+        const Cycle a2 = srcActual(e.src2Slot, e.src2Seq);
+        const Cycle true_ready = std::max(a1, a2);
+
+        // Ground-truth classification of loads happens the first time
+        // the load could be scheduled ignoring ordering constraints:
+        // register sources ready and a free memory unit (section 2.1).
+        if (e.uop.isLoad() && e.cls == LoadClass::Unclassified &&
+            true_ready <= now_ && *pool > 0) {
+            classifyLoad(e);
+        }
+
+        if (*pool <= 0)
+            continue;
+        if (e.stallUntil > now_)
+            continue;
+
+        const Cycle e1 = srcEstimate(e.src1Slot, e.src1Seq);
+        const Cycle e2 = srcEstimate(e.src2Slot, e.src2Seq);
+        if (std::max(e1, e2) > now_)
+            continue; // not woken yet
+
+        if (e.uop.isLoad() && !schemeAllowsLoad(e))
+            continue;
+
+        if (true_ready > now_) {
+            // Speculatively woken too early (producer's latency was
+            // mispredicted): the issue slot is burnt and the uop
+            // replays. Replays repeat every replayBackoff cycles
+            // until the producer's data really arrives — the
+            // re-execution bandwidth cost the paper highlights — and
+            // the recovery adds the reschedule penalty at the end.
+            --*pool;
+            ++res_.wastedIssues;
+            if (!e.everWasted) {
+                e.everWasted = true;
+                ++res_.replayedUops;
+            }
+            const Cycle retry = now_ + cfg_.replayBackoff;
+            if (true_ready == kCycleNever || retry < true_ready) {
+                // Data still outstanding: replay again soon.
+                e.stallUntil = retry;
+            } else {
+                // Data lands before the next replay: final recovery
+                // costs the reschedule penalty.
+                e.stallUntil = true_ready + cfg_.reschedulePenalty;
+            }
+            continue;
+        }
+
+        if (is_mem) {
+            issueMemUop(e, mp);
+            continue;
+        }
+        --*pool;
+        issueEntry(e);
+    }
+}
+
+void
+OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
+{
+    const Uop &u = e.uop;
+
+    switch (cfg_.bankMode) {
+      case BankMode::TrueMultiPorted:
+      case BankMode::DualScheduled:
+        // No bank constraints (the dual-scheduled pipe resolves them
+        // in its second-level scheduler at extra latency).
+        --mp.totalFree;
+        issueEntry(e);
+        return;
+
+      case BankMode::Conventional: {
+        const unsigned bank = bankOf(u.addr);
+        if (bankPred_ != nullptr) {
+            // Predictor-assisted scheduling: do not co-dispatch loads
+            // predicted to hit the same bank; the skipped load keeps
+            // its slot and retries next cycle.
+            const auto p = bankPred_->predict(u.pc);
+            if (p.valid) {
+                if (mp.predClaimed[p.bank])
+                    return;
+                mp.predClaimed[p.bank] = true;
+            }
+        }
+        if (mp.bankFree[bank] <= 0) {
+            // Bank conflict detected after address generation: the
+            // pipe slot is burnt and the access retries.
+            --mp.totalFree;
+            ++res_.bankConflicts;
+            e.stallUntil = now_ + 1;
+            return;
+        }
+        --mp.totalFree;
+        --mp.bankFree[bank];
+        issueEntry(e);
+        return;
+      }
+
+      case BankMode::Sliced: {
+        if (u.isSta()) {
+            // Stores are never on the critical path (section 2.3):
+            // the STA rides whichever pipe is free and the store
+            // buffer routes the data to the right bank later.
+            for (unsigned b = 0; b < cfg_.numBanks; ++b) {
+                if (mp.bankFree[b] > 0) {
+                    --mp.bankFree[b];
+                    --mp.totalFree;
+                    issueEntry(e);
+                    return;
+                }
+            }
+            return; // every pipe busy; retry next cycle
+        }
+        const auto p = bankPred_->predict(u.pc);
+        if (p.valid) {
+            if (mp.bankFree[p.bank] <= 0)
+                return; // predicted pipe busy
+            --mp.bankFree[p.bank];
+            --mp.totalFree;
+            e.bankMispredicted = p.bank != bankOf(u.addr);
+            issueEntry(e);
+            return;
+        }
+        // No confident prediction: replicate to every pipe.
+        for (unsigned b = 0; b < cfg_.numBanks; ++b) {
+            if (mp.bankFree[b] <= 0)
+                return;
+        }
+        for (unsigned b = 0; b < cfg_.numBanks; ++b) {
+            --mp.bankFree[b];
+            --mp.totalFree;
+        }
+        ++res_.bankReplications;
+        issueEntry(e);
+        return;
+      }
+    }
+}
+
+void
+OooCore::renameStage(TraceStream &trace)
+{
+    if (traceDone_ || branchPending_ || now_ < fetchBlockedUntil_)
+        return;
+
+    for (int i = 0; i < cfg_.fetchWidth; ++i) {
+        if (static_cast<int>(nextSeq_ - headSeq_) >= cfg_.robSize)
+            return;
+        if (rsCount_ >= cfg_.schedWindow)
+            return;
+        if (poolUsed_ >= cfg_.regPool)
+            return;
+
+        const Uop *u = trace.next();
+        if (!u) {
+            traceDone_ = true;
+            return;
+        }
+
+        const SeqNum seq = nextSeq_++;
+        const int slot = slotOf(seq);
+        RobEntry &e = rob_[slot];
+        e = RobEntry{};
+        e.uop = *u;
+        e.seq = seq;
+        e.state = State::Waiting;
+        ++rsCount_;
+
+        if (u->src1 >= 0) {
+            const int ps = renameTable_[u->src1];
+            if (ps >= 0 && rob_[ps].seq == renameSeq_[u->src1] &&
+                inWindow(renameSeq_[u->src1])) {
+                e.src1Slot = ps;
+                e.src1Seq = renameSeq_[u->src1];
+            }
+        }
+        if (u->src2 >= 0) {
+            const int ps = renameTable_[u->src2];
+            if (ps >= 0 && rob_[ps].seq == renameSeq_[u->src2] &&
+                inWindow(renameSeq_[u->src2])) {
+                e.src2Slot = ps;
+                e.src2Seq = renameSeq_[u->src2];
+            }
+        }
+        if (u->dst >= 0) {
+            renameTable_[u->dst] = slot;
+            renameSeq_[u->dst] = seq;
+            ++poolUsed_;
+        }
+
+        switch (u->cls) {
+          case UopClass::Load:
+            if (storeSets_)
+                e.ssWaitSeq = storeSets_->loadRenamed(u->pc);
+            if (cht_) {
+                e.pathAtPredict = pathHist_;
+                const auto p = cht_->predict(u->pc, pathHist_);
+                e.predColliding = p.colliding;
+                e.predDistance = p.distance;
+                if (cfg_.scheme == OrderingScheme::Exclusive &&
+                    p.colliding && p.distance > 0) {
+                    const Mob::StoreRec *s =
+                        mob_.olderAtDistance(seq, p.distance);
+                    if (s) {
+                        e.hasExclTarget = true;
+                        e.exclStoreSeq = s->seq;
+                    } else {
+                        // Fewer older stores than the predicted
+                        // distance: nothing to wait for.
+                        e.hasExclTarget = true;
+                        e.exclStoreSeq = kNoStore;
+                    }
+                }
+            }
+            break;
+          case UopClass::StoreAddr: {
+            // [Hess95]: the barrier cache is queried at fetch time of
+            // the store; a set counter fences all following loads.
+            const bool barrier =
+                barrierCache_ && barrierCache_->predict(u->pc).taken;
+            mob_.insert(seq, u->addr, u->memSize, u->pc, barrier);
+            if (storeSets_)
+                storeSets_->storeRenamed(u->pc, seq);
+            lastStaSeq_ = seq;
+            haveLastSta_ = true;
+            break;
+          }
+          case UopClass::StoreData:
+            assert(haveLastSta_ && mob_.get(lastStaSeq_) != nullptr);
+            e.pairSeq = lastStaSeq_;
+            e.isPairedStd = true;
+            break;
+          case UopClass::Branch: {
+            const auto bp = branchPred_.predict(u->pc);
+            branchPred_.update(u->pc, u->taken);
+            pathHist_ = (pathHist_ << 1) | (u->taken ? 1u : 0u);
+            if (bp.taken != u->taken) {
+                e.mispredictedBranch = true;
+                // Block the front end until the branch resolves.
+                branchPending_ = true;
+                return;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace lrs

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The trace-driven out-of-order core.
+ *
+ * A cycle-driven model of the machine in section 3.1: in-order
+ * fetch/rename into a ROB + scheduling window (reservation stations),
+ * out-of-order dispatch to per-class execution units, in-order retire.
+ * Loads interact with the MOB according to the selected memory
+ * ordering scheme, with the data hierarchy for latency, with the CHT
+ * for collision prediction and with the hit-miss predictor for
+ * speculative wakeup of their consumers.
+ *
+ * Mis-speculation is modelled operationally, not by fixed abatements:
+ * a consumer woken too early issues, burns its execution slot, and is
+ * rescheduled (the paper's re-execution bandwidth cost); a wrongly
+ * advanced load re-executes after the colliding store completes plus
+ * the collision penalty.
+ */
+
+#ifndef LRS_CORE_CORE_HH
+#define LRS_CORE_CORE_HH
+
+#include <array>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/results.hh"
+#include "memory/hierarchy.hh"
+#include "memory/mob.hh"
+#include "predictors/bank_pred.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/cht.hh"
+#include "predictors/gshare.hh"
+#include "predictors/hitmiss.hh"
+#include "predictors/store_sets.hh"
+#include "trace/stream.hh"
+
+namespace lrs
+{
+
+/**
+ * One simulated core. Build one per run; run() consumes a trace.
+ */
+class OooCore
+{
+  public:
+    explicit OooCore(const MachineConfig &cfg);
+    ~OooCore();
+
+    /** Simulate @p trace to completion and return the statistics. */
+    SimResult run(TraceStream &trace);
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    /** Ground-truth collision classification of a load. */
+    enum class LoadClass : std::uint8_t
+    {
+        Unclassified,
+        NotConflicting,
+        ConflictNotColliding, ///< ANC
+        Colliding,            ///< AC
+    };
+
+    enum class State : std::uint8_t
+    {
+        Waiting, ///< in the scheduling window
+        Issued,  ///< dispatched to an execution unit
+    };
+
+    struct RobEntry
+    {
+        Uop uop;
+        SeqNum seq = 0;
+        State state = State::Waiting;
+
+        // Producers of the register sources: ROB slot or -1 if the
+        // value was already architectural at rename.
+        int src1Slot = -1, src2Slot = -1;
+        SeqNum src1Seq = 0, src2Seq = 0;
+
+        /** Speculative wakeup estimate seen by consumers. */
+        Cycle estReady = kCycleNever;
+        /** True data-ready time (kCycleNever until determined). */
+        Cycle actualReady = kCycleNever;
+        /** When the entry is done for retirement purposes. */
+        Cycle completeAt = kCycleNever;
+        /** Replay backoff (wasted issue recovery). */
+        Cycle stallUntil = 0;
+        bool everWasted = false;
+
+        // Load bookkeeping.
+        LoadClass cls = LoadClass::Unclassified;
+        bool predColliding = false;
+        unsigned predDistance = 0;
+        unsigned actualDistance = 0;
+        bool hmPredMiss = false;
+        bool hmActualMiss = false;
+        bool collisionPenalized = false;
+        /** STA seq the load is lazily waiting on (collision case). */
+        SeqNum waitStoreSeq = 0;
+        bool waitingOnStore = false;
+        /** Lazy collision is a true order violation (squash on fix). */
+        bool violationSquash = false;
+
+        // Exclusive-scheme wait target, resolved at rename.
+        bool hasExclTarget = false;
+        SeqNum exclStoreSeq = 0;
+        // Store-sets wait target (LFST entry at rename), or
+        // StoreSets::kNoStoreSeq.
+        SeqNum ssWaitSeq = ~static_cast<SeqNum>(0);
+
+        // Store bookkeeping: an STD records its STA's sequence number
+        // (slots can be reused while the pair is still in flight).
+        SeqNum pairSeq = 0;
+        bool isPairedStd = false;
+
+        bool mispredictedBranch = false;
+        /** Sliced pipe sent this load to the wrong bank. */
+        bool bankMispredicted = false;
+        /** Branch-path history captured when the CHT predicted. */
+        std::uint64_t pathAtPredict = 0;
+    };
+
+    /** Sentinel "no store to wait for" for exclStoreSeq. */
+    static constexpr SeqNum kNoStore =
+        std::numeric_limits<SeqNum>::max();
+
+    // --- pipeline stages (called once per cycle) ---
+    void resolvePendingCollisions();
+    void retireStage();
+    void issueStage();
+    void renameStage(TraceStream &trace);
+
+    // --- helpers ---
+    RobEntry &entryAt(int slot) { return rob_[slot]; }
+    int slotOf(SeqNum seq) const
+    {
+        return static_cast<int>(seq % rob_.size());
+    }
+    bool inWindow(SeqNum seq) const
+    {
+        return seq >= headSeq_ && seq < nextSeq_;
+    }
+
+    /** Wakeup estimate of a source producer (kCycleNever blocks). */
+    Cycle srcEstimate(int slot, SeqNum seq) const;
+    /** True readiness of a source producer. */
+    Cycle srcActual(int slot, SeqNum seq) const;
+
+    /** Does the ordering scheme let this load dispatch now? */
+    bool schemeAllowsLoad(const RobEntry &e) const;
+
+    /** Classify the load against the MOB (ground truth), once. */
+    void classifyLoad(RobEntry &e);
+
+    /** Execute a load: ordering outcome, cache access, HMP wakeup. */
+    void executeLoad(RobEntry &e);
+
+    void issueEntry(RobEntry &e);
+    void countLoadClass(const RobEntry &e);
+
+    /** Write-allocate a store's line once STA and STD both executed. */
+    void maybeTouchStore(SeqNum sta_seq);
+
+    /** Per-cycle state of the memory pipes / cache banks. */
+    struct MemPorts
+    {
+        int totalFree = 0;
+        std::array<int, 8> bankFree{};
+        std::array<bool, 8> predClaimed{};
+    };
+
+    /**
+     * Try to issue a memory uop (load or STA) under the configured
+     * bank mode. Returns true if the scan should move on (whether the
+     * uop issued, burnt a slot, or was skipped).
+     */
+    void issueMemUop(RobEntry &e, MemPorts &mp);
+
+    /** Bank of an address under the configured interleave. */
+    unsigned bankOf(Addr addr) const
+    {
+        return static_cast<unsigned>(addr / cfg_.mem.l1.lineBytes) %
+               cfg_.numBanks;
+    }
+
+    MachineConfig cfg_;
+    MemoryHierarchy mem_;
+    Mob mob_;
+    std::unique_ptr<Cht> cht_;
+    std::unique_ptr<HitMissPredictor> hmp_;
+    std::unique_ptr<BankPredictor> bankPred_;
+    std::unique_ptr<BimodalPredictor> barrierCache_;
+    std::unique_ptr<StoreSets> storeSets_;
+    std::unique_ptr<LoadAddressPredictor> prefetcher_;
+    GsharePredictor branchPred_;
+    /** Extra load latency of the configured memory pipe (Figure 4). */
+    Cycle memPipeExtraLat_ = 0;
+
+    std::vector<RobEntry> rob_; ///< ring, slot = seq % size
+    SeqNum headSeq_ = 0;        ///< oldest in-flight seq
+    SeqNum nextSeq_ = 0;        ///< next seq to insert
+    int rsCount_ = 0;           ///< Waiting entries (scheduling window)
+    int poolUsed_ = 0;          ///< allocated rename registers
+
+    std::vector<int> renameTable_;   ///< arch reg -> producer slot
+    std::vector<SeqNum> renameSeq_;  ///< arch reg -> producer seq
+
+    std::vector<int> pendingCollision_; ///< load slots awaiting stores
+
+    Cycle now_ = 0;
+    /** Finite front-end stall horizon (mispredicts, squashes). */
+    Cycle fetchBlockedUntil_ = 0;
+    /** A mispredicted branch is in flight; fetch stalls until it
+     *  resolves (which then extends fetchBlockedUntil_). */
+    bool branchPending_ = false;
+    SeqNum lastStaSeq_ = 0;
+    bool haveLastSta_ = false;
+    /** Global branch-path register (taken bits, fetch order). */
+    std::uint64_t pathHist_ = 0;
+    bool traceDone_ = false;
+
+    SimResult res_;
+};
+
+} // namespace lrs
+
+#endif // LRS_CORE_CORE_HH

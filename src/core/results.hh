@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Aggregated results of one simulation run: timing, the paper's load
+ * classification (Figure 1 terminology), hit-miss prediction counts
+ * and resource-waste statistics.
+ */
+
+#ifndef LRS_CORE_RESULTS_HH
+#define LRS_CORE_RESULTS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lrs
+{
+
+struct SimResult
+{
+    std::string trace;
+    std::string config;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t uops = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    // --- load classification (section 2.1 terminology) ---
+    /** Loads with no older unknown-address store at schedule time. */
+    std::uint64_t notConflicting = 0;
+    std::uint64_t ancPnc = 0; ///< actually-non-colliding, predicted so
+    std::uint64_t ancPc = 0;  ///< lost opportunity
+    std::uint64_t acPc = 0;   ///< collision caught by the predictor
+    std::uint64_t acPnc = 0;  ///< missed collision (re-execution risk)
+
+    /** Loads whose data paid the collision penalty. */
+    std::uint64_t collisionPenalties = 0;
+    /** Subset that were true order violations (squash recovery). */
+    std::uint64_t orderViolations = 0;
+    /** Loads serviced by store-to-load forwarding. */
+    std::uint64_t forwarded = 0;
+    /** Exclusive pairing: loads speculatively fed store data before
+     *  the store's address resolved. */
+    std::uint64_t specForwards = 0;
+    /** Subset of specForwards where the pairing was wrong. */
+    std::uint64_t specMisforwards = 0;
+
+    // --- hit-miss prediction (section 2.2 terminology) ---
+    std::uint64_t ahPh = 0;
+    std::uint64_t ahPm = 0;
+    std::uint64_t amPh = 0;
+    std::uint64_t amPm = 0;
+    std::uint64_t l1Misses = 0;     ///< includes dynamic misses
+    std::uint64_t dynamicMisses = 0;
+
+    // --- resource waste ---
+    std::uint64_t wastedIssues = 0; ///< issue slots burnt by replays
+    std::uint64_t replayedUops = 0; ///< uops that issued more than once
+
+    /** Prefetches issued by the stride prefetch engine. */
+    std::uint64_t prefetches = 0;
+
+    // --- banked-cache pipeline (Figure 4 modes) ---
+    std::uint64_t bankConflicts = 0;    ///< conventional-pipe stalls
+    std::uint64_t bankMispredicts = 0;  ///< sliced-pipe re-executions
+    std::uint64_t bankReplications = 0; ///< low-confidence duplicates
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(uops) / cycles : 0.0;
+    }
+
+    std::uint64_t
+    conflicting() const
+    {
+        return ancPnc + ancPc + acPc + acPnc;
+    }
+
+    std::uint64_t actuallyColliding() const { return acPc + acPnc; }
+
+    std::uint64_t
+    classifiedLoads() const
+    {
+        return notConflicting + conflicting();
+    }
+
+    /** Speedup of this run relative to a baseline run. */
+    double
+    speedupOver(const SimResult &base) const
+    {
+        return cycles ? static_cast<double>(base.cycles) / cycles : 0.0;
+    }
+};
+
+} // namespace lrs
+
+#endif // LRS_CORE_RESULTS_HH

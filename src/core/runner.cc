@@ -1,0 +1,69 @@
+#include "core/runner.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace lrs
+{
+
+SimResult
+runSim(TraceStream &trace, const MachineConfig &cfg)
+{
+    OooCore core(cfg);
+    return core.run(trace);
+}
+
+SimResult
+runSim(const TraceParams &params, const MachineConfig &cfg)
+{
+    auto trace = TraceLibrary::make(params);
+    return runSim(*trace, cfg);
+}
+
+const std::vector<OrderingScheme> &
+allSchemes()
+{
+    static const std::vector<OrderingScheme> kSchemes = {
+        OrderingScheme::Traditional,   OrderingScheme::Opportunistic,
+        OrderingScheme::Postponing,    OrderingScheme::Inclusive,
+        OrderingScheme::Exclusive,     OrderingScheme::Perfect,
+    };
+    return kSchemes;
+}
+
+std::vector<SimResult>
+runAllSchemes(VecTrace &trace, MachineConfig cfg)
+{
+    std::vector<SimResult> out;
+    for (const auto scheme : allSchemes()) {
+        cfg.scheme = scheme;
+        out.push_back(runSim(trace, cfg));
+    }
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s)
+        return fallback;
+    return v;
+}
+
+} // namespace lrs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Convenience helpers the benches and examples use to run traces
+ * through machine configurations and compare schemes.
+ */
+
+#ifndef LRS_CORE_RUNNER_HH
+#define LRS_CORE_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/core.hh"
+#include "core/results.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+
+/** Run @p trace through a machine configured as @p cfg. */
+SimResult runSim(TraceStream &trace, const MachineConfig &cfg);
+
+/** Generate the trace for @p params and run it. */
+SimResult runSim(const TraceParams &params, const MachineConfig &cfg);
+
+/**
+ * Run one trace under every ordering scheme (I-VI) with a shared
+ * machine configuration; returns results in scheme order.
+ */
+std::vector<SimResult> runAllSchemes(VecTrace &trace,
+                                     MachineConfig cfg);
+
+/** The scheme order used by runAllSchemes(). */
+const std::vector<OrderingScheme> &allSchemes();
+
+/** Geometric mean of speedups (each vs its own baseline). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Read an unsigned integer environment override, e.g. the trace
+ * length knob LRS_TRACE_LEN used by all benches. Returns @p fallback
+ * when unset or unparsable.
+ */
+std::uint64_t envU64(const char *name, std::uint64_t fallback);
+
+} // namespace lrs
+
+#endif // LRS_CORE_RUNNER_HH

@@ -1,0 +1,99 @@
+#include "memory/cache.hh"
+
+#include <cassert>
+
+#include "common/bitutils.hh"
+
+namespace lrs
+{
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    assert(params_.lineBytes > 0 && isPowerOf2(params_.lineBytes));
+    assert(params_.assoc > 0);
+    assert(params_.sizeBytes >= params_.lineBytes * params_.assoc);
+    numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
+    assert(isPowerOf2(numSets_));
+    lines_.resize(numSets_ * params_.assoc);
+}
+
+Cache::LookupResult
+Cache::probe(Addr addr, Cycle now) const
+{
+    const Addr tag = lineAddr(addr);
+    const std::uint64_t set = tag & (numSets_ - 1);
+    const Line *base = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &l = base[w];
+        if (l.valid && l.tag == tag)
+            return {true, l.fillTime <= now, l.fillTime};
+    }
+    return {false, false, 0};
+}
+
+Cache::LookupResult
+Cache::access(Addr addr, Cycle now)
+{
+    const Addr tag = lineAddr(addr);
+    const std::uint64_t set = tag & (numSets_ - 1);
+    Line *base = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = now;
+            if (l.fillTime <= now) {
+                ++hits_;
+                return {true, true, l.fillTime};
+            }
+            ++dynMisses_;
+            return {true, false, l.fillTime};
+        }
+    }
+    ++misses_;
+    return {false, false, 0};
+}
+
+void
+Cache::fill(Addr addr, Cycle fill_time)
+{
+    const Addr tag = lineAddr(addr);
+    const std::uint64_t set = tag & (numSets_ - 1);
+    Line *base = &lines_[set * params_.assoc];
+    // Reuse an existing entry (refill), else an invalid way, else LRU.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            victim = &l;
+            break;
+        }
+    }
+    if (!victim) {
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+        }
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < params_.assoc; ++w)
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->fillTime = fill_time;
+    victim->lastUse = fill_time;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+}
+
+} // namespace lrs

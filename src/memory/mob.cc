@@ -1,0 +1,201 @@
+#include "memory/mob.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lrs
+{
+
+void
+Mob::insert(SeqNum sta_seq, Addr addr, std::uint8_t size, Addr pc,
+            bool barrier)
+{
+    assert(stores_.empty() || stores_.back().seq < sta_seq);
+    StoreRec rec;
+    rec.seq = sta_seq;
+    rec.addr = addr;
+    rec.pc = pc;
+    rec.size = size;
+    rec.barrier = barrier;
+    stores_.push_back(rec);
+}
+
+void
+Mob::markViolation(SeqNum sta_seq)
+{
+    StoreRec *r = find(sta_seq);
+    assert(r != nullptr);
+    r->causedViolation = true;
+}
+
+bool
+Mob::anyBarrierOlderIncomplete(SeqNum load_seq, Cycle now) const
+{
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (it->barrier && !it->completeAt(now))
+            return true;
+    }
+    return false;
+}
+
+const Mob::StoreRec *
+Mob::get(SeqNum sta_seq) const
+{
+    return const_cast<Mob *>(this)->find(sta_seq);
+}
+
+Mob::StoreRec *
+Mob::find(SeqNum sta_seq)
+{
+    // Binary search: stores_ is sorted by seq.
+    auto it = std::lower_bound(
+        stores_.begin(), stores_.end(), sta_seq,
+        [](const StoreRec &r, SeqNum s) { return r.seq < s; });
+    if (it != stores_.end() && it->seq == sta_seq)
+        return &*it;
+    return nullptr;
+}
+
+void
+Mob::staExecuted(SeqNum sta_seq, Cycle when)
+{
+    StoreRec *r = find(sta_seq);
+    assert(r != nullptr);
+    r->staDoneAt = when;
+}
+
+void
+Mob::stdExecuted(SeqNum sta_seq, Cycle when)
+{
+    StoreRec *r = find(sta_seq);
+    assert(r != nullptr);
+    r->stdDoneAt = when;
+}
+
+void
+Mob::retire(SeqNum sta_seq)
+{
+    assert(!stores_.empty() && stores_.front().seq == sta_seq);
+    stores_.pop_front();
+}
+
+void
+Mob::clear()
+{
+    stores_.clear();
+}
+
+bool
+Mob::anyUnknownAddrOlder(SeqNum load_seq, Cycle now) const
+{
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (!it->addrKnownAt(now))
+            return true;
+    }
+    return false;
+}
+
+bool
+Mob::anyIncompleteOlder(SeqNum load_seq, Cycle now) const
+{
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (!it->completeAt(now))
+            return true;
+    }
+    return false;
+}
+
+bool
+Mob::allOlderComplete(SeqNum load_seq, Cycle now) const
+{
+    for (const auto &r : stores_) {
+        if (r.seq >= load_seq)
+            break;
+        if (!r.completeAt(now))
+            return false;
+    }
+    return true;
+}
+
+bool
+Mob::allOlderAddrKnown(SeqNum load_seq, Cycle now) const
+{
+    return !anyUnknownAddrOlder(load_seq, now);
+}
+
+bool
+Mob::allOlderDataKnown(SeqNum load_seq, Cycle now) const
+{
+    for (const auto &r : stores_) {
+        if (r.seq >= load_seq)
+            break;
+        if (!r.dataKnownAt(now))
+            return false;
+    }
+    return true;
+}
+
+const Mob::StoreRec *
+Mob::youngestOverlapOlder(SeqNum load_seq, Addr addr,
+                          std::uint8_t size) const
+{
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (rangesOverlap(it->addr, it->size, addr, size))
+            return &*it;
+    }
+    return nullptr;
+}
+
+bool
+Mob::collidesAt(SeqNum load_seq, Addr addr, std::uint8_t size,
+                Cycle now) const
+{
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (!it->addrKnownAt(now) &&
+            rangesOverlap(it->addr, it->size, addr, size)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+Mob::overlapDistance(SeqNum load_seq, Addr addr,
+                     std::uint8_t size) const
+{
+    unsigned dist = 0;
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        ++dist;
+        if (rangesOverlap(it->addr, it->size, addr, size))
+            return dist;
+    }
+    return 0;
+}
+
+const Mob::StoreRec *
+Mob::olderAtDistance(SeqNum load_seq, unsigned distance) const
+{
+    assert(distance >= 1);
+    unsigned dist = 0;
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (++dist == distance)
+            return &*it;
+    }
+    return nullptr;
+}
+
+} // namespace lrs

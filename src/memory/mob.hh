@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Memory Ordering Buffer.
+ *
+ * Tracks every store in the instruction window — STA (address) and STD
+ * (data) status separately, P6-style — and answers the ordering queries
+ * the scheduler and the collision-classification logic need
+ * (paper sections 1.1 and 2.1):
+ *
+ *  - is there an older store whose address is still unknown?
+ *    (the load is then *conflicting*)
+ *  - does an older store with unknown-at-schedule-time address overlap
+ *    this load's address? (the load is then *actually colliding*)
+ *  - which is the youngest older overlapping store, and when do its
+ *    STA/STD complete? (forwarding and penalty timing)
+ *  - what is the store-distance between a load and its collider?
+ *    (the exclusive predictor's distance annotation)
+ *
+ * The MOB also knows each store's *oracle* address (from the trace)
+ * before the STA executes; only the Perfect scheme and the ground-truth
+ * classification consult it ahead of STA execution.
+ */
+
+#ifndef LRS_MEMORY_MOB_HH
+#define LRS_MEMORY_MOB_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace lrs
+{
+
+/**
+ * Store-tracking half of a P6-style MOB/ROB pair.
+ */
+class Mob
+{
+  public:
+    /** Status of one in-window store. */
+    struct StoreRec
+    {
+        SeqNum seq;          ///< sequence number of the STA uop
+        Addr addr;           ///< oracle address (known to the trace)
+        Addr pc = 0;         ///< static PC of the STA (for training)
+        std::uint8_t size;
+        /** Store Barrier Cache: this store fences following loads. */
+        bool barrier = false;
+        /** A load was wrongly ordered against this store. */
+        bool causedViolation = false;
+        Cycle staDoneAt = kCycleNever; ///< address known from here on
+        Cycle stdDoneAt = kCycleNever; ///< data available from here on
+
+        bool addrKnownAt(Cycle now) const { return staDoneAt <= now; }
+        bool dataKnownAt(Cycle now) const { return stdDoneAt <= now; }
+        bool completeAt(Cycle now) const
+        {
+            return addrKnownAt(now) && dataKnownAt(now);
+        }
+    };
+
+    /** A new store (STA+STD pair) entered the window at rename. */
+    void insert(SeqNum sta_seq, Addr addr, std::uint8_t size,
+                Addr pc = 0, bool barrier = false);
+
+    /** Record that a load was wrongly ordered against this store. */
+    void markViolation(SeqNum sta_seq);
+
+    /**
+     * True iff some older barrier-marked store is incomplete at
+     * @p now — the Store Barrier Cache's load fence ([Hess95]).
+     */
+    bool anyBarrierOlderIncomplete(SeqNum load_seq, Cycle now) const;
+
+    /** The STA executed: address becomes architecturally known. */
+    void staExecuted(SeqNum sta_seq, Cycle when);
+
+    /** The STD executed: data becomes available for forwarding. */
+    void stdExecuted(SeqNum sta_seq, Cycle when);
+
+    /** The store retired: remove it from the window. */
+    void retire(SeqNum sta_seq);
+
+    /** Remove every store (window flush). */
+    void clear();
+
+    /** Number of stores currently in the window. */
+    std::size_t size() const { return stores_.size(); }
+
+    /**
+     * True iff some store older than @p load_seq has an unknown
+     * address at @p now.
+     */
+    bool anyUnknownAddrOlder(SeqNum load_seq, Cycle now) const;
+
+    /**
+     * True iff some store older than @p load_seq is incomplete
+     * (address or data still unknown) at @p now — the load is then
+     * *conflicting*: it cannot yet be scheduled safely.
+     */
+    bool anyIncompleteOlder(SeqNum load_seq, Cycle now) const;
+
+    /** True iff every older store has completed (STA and STD) by now. */
+    bool allOlderComplete(SeqNum load_seq, Cycle now) const;
+
+    /** True iff every older store's address is known by now. */
+    bool allOlderAddrKnown(SeqNum load_seq, Cycle now) const;
+
+    /** True iff every older store's data is known by now. */
+    bool allOlderDataKnown(SeqNum load_seq, Cycle now) const;
+
+    /**
+     * Youngest older store overlapping [addr, addr+size), using oracle
+     * addresses. Returns nullptr if none.
+     */
+    const StoreRec *youngestOverlapOlder(SeqNum load_seq, Addr addr,
+                                         std::uint8_t size) const;
+
+    /**
+     * True iff an older store whose address is unknown at @p now
+     * overlaps the load's address — the paper's *actually colliding*
+     * condition evaluated at schedule time.
+     */
+    bool collidesAt(SeqNum load_seq, Addr addr, std::uint8_t size,
+                    Cycle now) const;
+
+    /**
+     * Store-distance of the youngest older overlapping store: 1 means
+     * the closest older store, 2 the one before it, etc. Returns 0 if
+     * no overlap.
+     */
+    unsigned overlapDistance(SeqNum load_seq, Addr addr,
+                             std::uint8_t size) const;
+
+    /**
+     * The @p distance-th closest older store (1 = youngest older).
+     * Returns nullptr if fewer than @p distance older stores exist.
+     */
+    const StoreRec *olderAtDistance(SeqNum load_seq,
+                                    unsigned distance) const;
+
+    /** The in-window store with STA sequence @p sta_seq, if any. */
+    const StoreRec *get(SeqNum sta_seq) const;
+
+  private:
+    /** Stores in program order (oldest first). */
+    std::deque<StoreRec> stores_;
+
+    StoreRec *find(SeqNum sta_seq);
+};
+
+/** Do two byte ranges overlap? */
+inline bool
+rangesOverlap(Addr a1, std::uint8_t s1, Addr a2, std::uint8_t s2)
+{
+    return a1 < a2 + s2 && a2 < a1 + s1;
+}
+
+} // namespace lrs
+
+#endif // LRS_MEMORY_MOB_HH

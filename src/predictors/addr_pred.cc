@@ -1,0 +1,75 @@
+#include "predictors/addr_pred.hh"
+
+#include <cassert>
+
+namespace lrs
+{
+
+LoadAddressPredictor::LoadAddressPredictor(std::size_t entries,
+                                           unsigned conf_bits,
+                                           unsigned conf_threshold)
+    : idxBits_(floorLog2(entries)),
+      confMax_(static_cast<std::uint8_t>((1u << conf_bits) - 1)),
+      confThreshold_(static_cast<std::uint8_t>(conf_threshold)),
+      table_(entries)
+{
+    assert(isPowerOf2(entries));
+    assert(conf_threshold <= confMax_);
+}
+
+LoadAddressPredictor::Prediction
+LoadAddressPredictor::predict(Addr pc) const
+{
+    const Entry &e = table_[index(pc)];
+    if (!e.valid || e.tag != tagOf(pc) || e.conf < confThreshold_)
+        return {false, 0, 0, 0.0};
+    return {true,
+            static_cast<Addr>(static_cast<std::int64_t>(e.lastAddr) +
+                              e.stride),
+            e.stride, static_cast<double>(e.conf) / confMax_};
+}
+
+void
+LoadAddressPredictor::update(Addr pc, Addr addr)
+{
+    Entry &e = table_[index(pc)];
+    if (!e.valid || e.tag != tagOf(pc)) {
+        e = Entry{};
+        e.valid = true;
+        e.tag = tagOf(pc);
+        e.lastAddr = addr;
+        e.stride = 0;
+        e.conf = 0;
+        return;
+    }
+    const std::int64_t observed =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(e.lastAddr);
+    if (observed == e.stride) {
+        if (e.conf < confMax_)
+            ++e.conf;
+    } else {
+        if (e.conf > 0) {
+            --e.conf;
+        } else {
+            e.stride = observed;
+        }
+    }
+    e.lastAddr = addr;
+}
+
+void
+LoadAddressPredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+std::size_t
+LoadAddressPredictor::storageBits() const
+{
+    // tag(12) + last addr (32 stored) + stride (16) + conf(2)
+    return table_.size() * (12 + 32 + 16 + 2);
+}
+
+} // namespace lrs

@@ -1,0 +1,312 @@
+#include "predictors/cht.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutils.hh"
+
+namespace lrs
+{
+
+const char *
+chtKindName(ChtKind k)
+{
+    switch (k) {
+      case ChtKind::Full:     return "Full";
+      case ChtKind::TagOnly:  return "TagOnly";
+      case ChtKind::Tagless:  return "Tagless";
+      case ChtKind::Combined: return "Combined";
+    }
+    return "?";
+}
+
+Cht::Cht(const ChtParams &params)
+    : params_(params)
+{
+    assert(isPowerOf2(params_.entries));
+    assert(params_.counterBits >= 1 && params_.counterBits <= 4);
+
+    const bool has_tagged = params_.kind != ChtKind::Tagless;
+    const bool has_tagless = params_.kind == ChtKind::Tagless ||
+                             params_.kind == ChtKind::Combined;
+
+    if (has_tagged) {
+        assert(params_.entries % params_.assoc == 0);
+        const std::size_t sets = params_.entries / params_.assoc;
+        assert(isPowerOf2(sets));
+        setBits_ = floorLog2(sets);
+        tagged_.resize(params_.entries);
+    }
+    if (has_tagless) {
+        const std::size_t n = params_.kind == ChtKind::Tagless
+                                  ? params_.entries
+                                  : params_.taglessEntries;
+        assert(isPowerOf2(n));
+        taglessBits_ = floorLog2(n);
+        taglessCtr_.assign(n, 0);
+        if (params_.trackDistance)
+            taglessDist_.assign(n, 0);
+    }
+}
+
+std::size_t
+Cht::setIndex(Addr pc) const
+{
+    return foldXor(pc >> 1, setBits_) & mask(setBits_);
+}
+
+std::uint32_t
+Cht::tagOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc >> (1 + setBits_)) &
+                                      mask(params_.tagBits));
+}
+
+std::size_t
+Cht::taglessIndex(Addr pc) const
+{
+    return foldXor(pc >> 1, taglessBits_) & mask(taglessBits_);
+}
+
+const Cht::Entry *
+Cht::lookupTagged(Addr pc) const
+{
+    const std::size_t set = setIndex(pc);
+    const std::uint32_t tag = tagOf(pc);
+    const Entry *base = &tagged_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+Cht::Entry *
+Cht::lookupTagged(Addr pc)
+{
+    return const_cast<Entry *>(
+        static_cast<const Cht *>(this)->lookupTagged(pc));
+}
+
+Cht::Entry *
+Cht::allocateTagged(Addr pc)
+{
+    const std::size_t set = setIndex(pc);
+    Entry *base = &tagged_[set * params_.assoc];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < params_.assoc; ++w)
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+    }
+    *victim = Entry{};
+    victim->valid = true;
+    victim->tag = tagOf(pc);
+    victim->lastUse = tick_;
+    return victim;
+}
+
+bool
+Cht::counterPredicts(std::uint8_t c) const
+{
+    return c >= (1u << (params_.counterBits - 1));
+}
+
+void
+Cht::counterTrain(std::uint8_t &c, bool up) const
+{
+    if (params_.sticky) {
+        if (up)
+            c = (1u << params_.counterBits) - 1;
+        return;
+    }
+    if (up) {
+        if (c < (1u << params_.counterBits) - 1)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+Addr
+Cht::keyOf(Addr pc, std::uint64_t path) const
+{
+    if (params_.pathBits == 0)
+        return pc;
+    // Shift the path slice above bit 0 so it perturbs the index and
+    // tag rather than the (ignored) low alignment bit.
+    return pc ^ ((path & mask(params_.pathBits)) << 5);
+}
+
+Cht::Prediction
+Cht::predict(Addr pc, std::uint64_t path) const
+{
+    pc = keyOf(pc, path);
+    switch (params_.kind) {
+      case ChtKind::Full: {
+        const Entry *e = lookupTagged(pc);
+        if (!e)
+            return {false, 0};
+        return {counterPredicts(e->counter), e->distance};
+      }
+      case ChtKind::TagOnly: {
+        const Entry *e = lookupTagged(pc);
+        if (!e)
+            return {false, 0};
+        return {true, e->distance};
+      }
+      case ChtKind::Tagless: {
+        const std::size_t i = taglessIndex(pc);
+        const bool coll = counterPredicts(taglessCtr_[i]);
+        const unsigned dist =
+            params_.trackDistance ? taglessDist_[i] : 0;
+        return {coll, coll ? dist : 0};
+      }
+      case ChtKind::Combined: {
+        const Entry *e = lookupTagged(pc);
+        const bool tag_coll = e != nullptr;
+        const bool tl_coll =
+            counterPredicts(taglessCtr_[taglessIndex(pc)]);
+        const bool coll = params_.combineConservative
+                              ? (tag_coll || tl_coll)
+                              : (tag_coll && tl_coll);
+        const unsigned dist = e ? e->distance : 0;
+        return {coll, coll ? dist : 0};
+      }
+    }
+    return {false, 0};
+}
+
+void
+Cht::update(Addr pc, bool collided, unsigned distance,
+            std::uint64_t path)
+{
+    pc = keyOf(pc, path);
+    ++tick_;
+    const auto clamped_dist = static_cast<std::uint8_t>(
+        std::min<unsigned>(distance, kMaxDistance));
+
+    switch (params_.kind) {
+      case ChtKind::Full: {
+        Entry *e = lookupTagged(pc);
+        if (!e && collided)
+            e = allocateTagged(pc); // allocate on first collision only
+        if (e) {
+            e->lastUse = tick_;
+            counterTrain(e->counter, collided);
+            if (collided && params_.trackDistance) {
+                e->distance = e->distance == 0
+                                  ? clamped_dist
+                                  : std::min(e->distance, clamped_dist);
+            }
+        }
+        break;
+      }
+      case ChtKind::TagOnly: {
+        Entry *e = lookupTagged(pc);
+        if (!e && collided)
+            e = allocateTagged(pc);
+        if (e && collided) {
+            e->lastUse = tick_;
+            if (params_.trackDistance) {
+                e->distance = e->distance == 0
+                                  ? clamped_dist
+                                  : std::min(e->distance, clamped_dist);
+            }
+        }
+        break;
+      }
+      case ChtKind::Tagless: {
+        const std::size_t i = taglessIndex(pc);
+        counterTrain(taglessCtr_[i], collided);
+        if (collided && params_.trackDistance) {
+            taglessDist_[i] =
+                taglessDist_[i] == 0
+                    ? clamped_dist
+                    : std::min(taglessDist_[i], clamped_dist);
+        }
+        break;
+      }
+      case ChtKind::Combined: {
+        counterTrain(taglessCtr_[taglessIndex(pc)], collided);
+        Entry *e = lookupTagged(pc);
+        if (!e && collided)
+            e = allocateTagged(pc);
+        if (e && collided) {
+            e->lastUse = tick_;
+            if (params_.trackDistance) {
+                e->distance = e->distance == 0
+                                  ? clamped_dist
+                                  : std::min(e->distance, clamped_dist);
+            }
+        }
+        break;
+      }
+    }
+
+    ++updates_;
+    maybeCyclicClear();
+}
+
+void
+Cht::maybeCyclicClear()
+{
+    if (params_.clearInterval != 0 &&
+        updates_ % params_.clearInterval == 0) {
+        clear();
+    }
+}
+
+void
+Cht::clear()
+{
+    for (auto &e : tagged_)
+        e = Entry{};
+    std::fill(taglessCtr_.begin(), taglessCtr_.end(), 0);
+    std::fill(taglessDist_.begin(), taglessDist_.end(), 0);
+}
+
+std::size_t
+Cht::storageBits() const
+{
+    const std::size_t dist_bits = params_.trackDistance ? 6 : 0;
+    std::size_t bits = 0;
+    switch (params_.kind) {
+      case ChtKind::Full:
+        bits = params_.entries *
+               (1 + params_.tagBits + params_.counterBits + dist_bits);
+        break;
+      case ChtKind::TagOnly:
+        bits = params_.entries * (1 + params_.tagBits + dist_bits);
+        break;
+      case ChtKind::Tagless:
+        bits = params_.entries * (params_.counterBits + dist_bits);
+        break;
+      case ChtKind::Combined:
+        bits = params_.entries * (1 + params_.tagBits + dist_bits) +
+               params_.taglessEntries * params_.counterBits;
+        break;
+    }
+    return bits;
+}
+
+std::string
+Cht::name() const
+{
+    std::string n = chtKindName(params_.kind);
+    n += "-" + std::to_string(params_.entries);
+    if (params_.trackDistance)
+        n += "+dist";
+    if (params_.pathBits > 0)
+        n += "+path" + std::to_string(params_.pathBits);
+    return n;
+}
+
+} // namespace lrs

@@ -1,0 +1,53 @@
+#include "predictors/hitmiss.hh"
+
+#include <stdexcept>
+#include <vector>
+
+#include "predictors/chooser.hh"
+#include "predictors/gshare.hh"
+#include "predictors/gskew.hh"
+#include "predictors/local.hh"
+
+namespace lrs
+{
+
+std::unique_ptr<HitMissPredictor>
+makeLocalHmp()
+{
+    return std::make_unique<TableHmp>(
+        std::make_unique<LocalPredictor>(2048, 8));
+}
+
+std::unique_ptr<HitMissPredictor>
+makeChooserHmp()
+{
+    std::vector<CompositePredictor::Component> comps;
+    comps.push_back({std::make_unique<LocalPredictor>(512, 8), 1.0});
+    comps.push_back({std::make_unique<GsharePredictor>(11), 1.0});
+    comps.push_back({std::make_unique<GskewPredictor>(1024, 20), 1.0});
+    return std::make_unique<TableHmp>(
+        std::make_unique<CompositePredictor>(std::move(comps),
+                                             ChoosePolicy::Majority));
+}
+
+std::unique_ptr<HitMissPredictor>
+makeTimingLocalHmp()
+{
+    return std::make_unique<TimingHmp>(makeLocalHmp());
+}
+
+std::unique_ptr<HitMissPredictor>
+makeHmp(const std::string &which)
+{
+    if (which == "always-hit")
+        return std::make_unique<AlwaysHitHmp>();
+    if (which == "local")
+        return makeLocalHmp();
+    if (which == "chooser")
+        return makeChooserHmp();
+    if (which == "local+timing")
+        return makeTimingLocalHmp();
+    throw std::invalid_argument("unknown hit-miss predictor: " + which);
+}
+
+} // namespace lrs

@@ -1,0 +1,204 @@
+#include "trace/library.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/random.hh"
+#include "trace/synthetic.hh"
+
+namespace lrs
+{
+
+namespace
+{
+
+/** FNV-1a, for deriving per-trace seeds from names. */
+std::uint64_t
+hashName(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Base parameter profile of a trace group (before per-trace jitter). */
+TraceParams
+groupBase(TraceGroup g)
+{
+    TraceParams p;
+    p.group = g;
+    switch (g) {
+      case TraceGroup::SpecInt95:
+        // Call-heavy integer codes: pointer work resident mostly in L2,
+        // frequent short-distance stack collisions.
+        p.wCall = 0.9; p.wArrayLoop = 1.2; p.wChase = 0.15;
+        p.wGlobal = 0.5;
+        p.chaseFootprint = 12 * 1024;
+        p.fpFrac = 0.04; p.complexFrac = 0.05;
+        p.dataBranchProb = 0.15;
+        p.globalPhaseLen = 0;
+        break;
+      case TraceGroup::SpecFP95:
+        // Loop/streaming dominated: long strided loops, several with
+        // line-sized strides (per-PC always-miss streams -> highly
+        // predictable misses), few calls and few collisions.
+        p.wCall = 0.3; p.wArrayLoop = 2.2; p.wChase = 0.05;
+        p.wGlobal = 0.3;
+        p.streamingFrac = 0.07;
+        p.streamingBytes = 128 * 1024;
+        p.minArrayBytes = 1024; p.maxArrayBytes = 8 * 1024;
+        p.minIters = 12; p.maxIters = 32;
+        p.fpFrac = 0.55; p.complexFrac = 0.08;
+        p.dataBranchProb = 0.06;
+        p.loopAluOps = 4;
+        break;
+      case TraceGroup::SysmarkNT:
+        // Office/NT mix: the most collision-rich group, with
+        // phase-changing global sites.
+        p.wCall = 0.8; p.wArrayLoop = 1.6; p.wChase = 0.15;
+        p.wGlobal = 0.55;
+        p.globalPhaseLen = 40;
+        p.globalRmwFrac = 0.65;
+        p.indirectStoreFrac = 0.18;
+        p.chaseFootprint = 12 * 1024;
+        p.fpFrac = 0.06;
+        break;
+      case TraceGroup::Sysmark95:
+        p.wCall = 0.8; p.wArrayLoop = 1.4; p.wChase = 0.25;
+        p.wGlobal = 0.4;
+        p.globalRmwFrac = 0.4;
+        p.chaseFootprint = 10 * 1024;
+        p.fpFrac = 0.08;
+        break;
+      case TraceGroup::Games:
+        // FP/array mixed with irregular chases.
+        p.wCall = 0.8; p.wArrayLoop = 1.5; p.wChase = 0.4;
+        p.wGlobal = 0.5;
+        p.chaseFootprint = 24 * 1024;
+        p.streamingFrac = 0.06;
+        p.fpFrac = 0.35;
+        p.globalRmwFrac = 0.4;
+        break;
+      case TraceGroup::Java:
+        // Deep call trees and RMW-heavy object fields.
+        p.wCall = 1.5; p.wArrayLoop = 0.8; p.wChase = 0.25;
+        p.wGlobal = 0.7;
+        p.maxCallDepth = 4;
+        p.minArgs = 2; p.maxArgs = 5;
+        p.minSaves = 2; p.maxSaves = 4;
+        p.globalRmwFrac = 0.8;
+        p.chaseFootprint = 10 * 1024;
+        break;
+      case TraceGroup::TPC:
+        // Transaction processing: working set far beyond the caches.
+        p.wCall = 1.0; p.wArrayLoop = 0.7; p.wChase = 0.4;
+        p.wGlobal = 0.8;
+        p.chaseFootprint = 64 * 1024;
+        p.minChaseLen = 3; p.maxChaseLen = 10;
+        p.chaseSerialFrac = 0.5;
+        p.globalRmwFrac = 0.5;
+        break;
+    }
+    return p;
+}
+
+/** Deterministic per-trace variation so traces within a group differ. */
+void
+jitter(TraceParams &p)
+{
+    Rng r(hashName(p.name) ^ 0xabcdef12345ULL);
+    auto scale = [&](double &v, double lo, double hi) {
+        v *= lo + (hi - lo) * r.uniform();
+    };
+    scale(p.wCall, 0.7, 1.4);
+    scale(p.wArrayLoop, 0.7, 1.4);
+    scale(p.wChase, 0.6, 1.6);
+    scale(p.wGlobal, 0.7, 1.4);
+    p.chaseFootprint = static_cast<std::uint64_t>(
+        p.chaseFootprint * (0.6 + 0.9 * r.uniform()));
+    p.numFunctions = 16 + static_cast<int>(r.below(16));
+    p.numLoops = 8 + static_cast<int>(r.below(6));
+    p.numGlobals = 16 + static_cast<int>(r.below(16));
+    p.seed = hashName(p.name) | 1;
+}
+
+const std::vector<std::pair<TraceGroup, std::vector<std::string>>> &
+catalog()
+{
+    static const std::vector<
+        std::pair<TraceGroup, std::vector<std::string>>> kCatalog = {
+        {TraceGroup::SpecInt95,
+         {"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl",
+          "vortex"}},
+        {TraceGroup::SpecFP95,
+         {"tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu",
+          "turb3d", "apsi", "fpppp", "wave5"}},
+        {TraceGroup::SysmarkNT,
+         {"cd", "ex", "fl", "pd", "pm", "pp", "wd", "wp"}},
+        {TraceGroup::Sysmark95,
+         {"access", "excel", "word", "ppoint", "corel", "pmake",
+          "lotus", "works"}},
+        {TraceGroup::Games,
+         {"quake", "descent", "flight", "pinball", "monster"}},
+        {TraceGroup::Java, {"javac", "jess", "db", "mtrt", "jack"}},
+        {TraceGroup::TPC, {"tpcc", "tpcd"}},
+    };
+    return kCatalog;
+}
+
+} // namespace
+
+std::vector<TraceParams>
+TraceLibrary::group(TraceGroup g, std::uint64_t length)
+{
+    std::vector<TraceParams> out;
+    for (const auto &[grp, names] : catalog()) {
+        if (grp != g)
+            continue;
+        for (const auto &n : names) {
+            TraceParams p = groupBase(g);
+            p.name = n;
+            p.length = length;
+            jitter(p);
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+TraceParams
+TraceLibrary::byName(const std::string &name, std::uint64_t length)
+{
+    for (const auto &[grp, names] : catalog()) {
+        for (const auto &n : names) {
+            if (n == name) {
+                TraceParams p = groupBase(grp);
+                p.name = n;
+                p.length = length;
+                jitter(p);
+                return p;
+            }
+        }
+    }
+    throw std::invalid_argument("unknown trace name: " + name);
+}
+
+std::vector<std::string>
+TraceLibrary::names(TraceGroup g)
+{
+    for (const auto &[grp, names] : catalog())
+        if (grp == g)
+            return names;
+    return {};
+}
+
+std::unique_ptr<VecTrace>
+TraceLibrary::make(const TraceParams &p)
+{
+    return generateTrace(p);
+}
+
+} // namespace lrs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The trace library: named synthetic traces organised into the paper's
+ * seven groups (section 3): SpecInt95 (8 traces), SpecFP95 (10),
+ * SysmarkNT (8), Sysmark95 (8), Games (5), Java (5) and TPC (2).
+ *
+ * The SysmarkNT traces carry the labels of Figure 7 (cd, ex, fl, pd,
+ * pm, pp, wd, wp) so bench output can be compared bar-for-bar.
+ */
+
+#ifndef LRS_TRACE_LIBRARY_HH
+#define LRS_TRACE_LIBRARY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/params.hh"
+#include "trace/stream.hh"
+
+namespace lrs
+{
+
+/**
+ * Factory for the named trace set.
+ *
+ * All params are deterministic; @c lengthOverride lets benches trade
+ * fidelity for run time (the paper used 30M-instruction traces; our
+ * benches default to a few hundred thousand uops per trace).
+ */
+class TraceLibrary
+{
+  public:
+    /** Parameter sets of every trace in @p group. */
+    static std::vector<TraceParams> group(TraceGroup g,
+                                          std::uint64_t length = 200000);
+
+    /** Parameter set of one named trace (asserts the name exists). */
+    static TraceParams byName(const std::string &name,
+                              std::uint64_t length = 200000);
+
+    /** All trace names of a group. */
+    static std::vector<std::string> names(TraceGroup g);
+
+    /** Generate a ready-to-run trace. */
+    static std::unique_ptr<VecTrace> make(const TraceParams &p);
+};
+
+} // namespace lrs
+
+#endif // LRS_TRACE_LIBRARY_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Parameters of the synthetic workload generator.
+ *
+ * The paper evaluates on seven groups of proprietary IA-32 traces
+ * (SpecInt95, SpecFP95, SysmarkNT, Sysmark95, Games, Java, TPC). Those
+ * traces are not available, so we synthesise uop streams whose
+ * *load-related behaviour* matches what the paper's mechanisms exploit:
+ * recurrent per-PC collision behaviour (stack push / parameter-load and
+ * register save / restore pairs), a ~10/60/30 colliding /
+ * non-colliding / non-conflicting load mix, >95% L1 hit rates with
+ * per-PC-clustered misses, and per-PC-predictable bank streams.
+ * See DESIGN.md section 2 for the substitution rationale.
+ */
+
+#ifndef LRS_TRACE_PARAMS_HH
+#define LRS_TRACE_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrs
+{
+
+/** The paper's seven trace groups. */
+enum class TraceGroup
+{
+    SpecInt95,
+    SpecFP95,
+    SysmarkNT,
+    Sysmark95,
+    Games,
+    Java,
+    TPC,
+};
+
+/** Short display name used in bench output ("ISPEC", "NT", ...). */
+const char *traceGroupName(TraceGroup g);
+
+/**
+ * Knobs of one synthetic trace.
+ *
+ * The weights (@c wCall .. @c wGlobal) select which code construct the
+ * generator emits next; each construct produces a characteristic
+ * load/store pattern:
+ *  - call blocks: argument pushes followed by parameter loads (short-
+ *    distance colliding pairs) and register save/restore pairs (long-
+ *    distance colliders, window-size sensitive);
+ *  - array loops: strided loads/stores, conflicting but non-colliding,
+ *    hit rate set by stride vs line size and footprint vs cache size;
+ *  - pointer chases: loads to pseudo-random lines of a region,
+ *    mostly missing when the region exceeds the cache;
+ *  - global read-modify-write sites: recurrent same-address collisions
+ *    with optional phase changes (store phase vs read-only phase).
+ */
+struct TraceParams
+{
+    std::string name = "anon";
+    TraceGroup group = TraceGroup::SysmarkNT;
+    std::uint64_t seed = 1;
+    /** Number of dynamic uops to emit. */
+    std::uint64_t length = 200000;
+
+    // --- construct mix weights (relative, need not sum to 1) ---
+    double wCall = 1.0;
+    double wArrayLoop = 1.0;
+    double wChase = 0.3;
+    double wGlobal = 0.5;
+
+    // --- call/function shape ---
+    int numFunctions = 24;
+    int maxCallDepth = 3;
+    int minArgs = 1, maxArgs = 4;
+    int minSaves = 1, maxSaves = 3;
+    int minBodyBlocks = 2, maxBodyBlocks = 5;
+    /** Probability a body block is itself a (nested) call. */
+    double nestedCallProb = 0.2;
+    /**
+     * Fraction of call sites passing arguments in registers (fastcall)
+     * — no memory pushes, so no push/param-load collision pairs.
+     */
+    double regArgsFrac = 0.4;
+    /** Probability a body block spills and refills a stack local. */
+    double spillFrac = 0.5;
+
+    // --- array loop shape ---
+    int numLoops = 16;
+    int minIters = 6, maxIters = 12;
+    /** Candidate strides in bytes for non-streaming loops. */
+    std::vector<std::uint32_t> strides = {8, 8, 16, 16};
+    /** Per-loop array footprint in bytes (non-streaming loops). */
+    std::uint64_t minArrayBytes = 512, maxArrayBytes = 2048;
+    /**
+     * Fraction of static loops that stream: line-sized stride over a
+     * footprint larger than L1, so every access misses — the per-PC
+     * always-miss pattern hit-miss predictors catch easily.
+     */
+    double streamingFrac = 0.03;
+    std::uint64_t streamingBytes = 64 * 1024;
+    /** Probability a loop body also stores to a second array. */
+    double loopStoreProb = 0.5;
+    /**
+     * Probability a loop store is indirect: its STA address depends on
+     * the loaded value, delaying address resolution (the unknown-
+     * address stores that make following loads *conflicting*).
+     */
+    double indirectStoreFrac = 0.12;
+    /** ALU ops per loop body. */
+    int loopAluOps = 3;
+
+    // --- pointer chase shape ---
+    int numChases = 6;
+    std::uint64_t chaseFootprint = 12 * 1024; ///< aggregate bytes
+    int minChaseLen = 4, maxChaseLen = 16;     ///< loads per chase run
+    /** Fraction of chase runs that are truly serialised (load->load). */
+    double chaseSerialFrac = 0.3;
+
+    // --- globals ---
+    int numGlobals = 24;
+    /** Uses between mode flips of a phase-changing global (0 = never). */
+    int globalPhaseLen = 0;
+    /** Fraction of global sites that are read-modify-write (colliding). */
+    double globalRmwFrac = 0.6;
+    /** Probability an RMW site re-loads the global after the store. */
+    double globalReloadProb = 0.7;
+    /**
+     * Fraction of global sites whose collision behaviour is decided
+     * by a preceding conditional branch (taken -> RMW store before
+     * the reload, not-taken -> read only). A path-indexed CHT can
+     * separate the two behaviours of the reload PC; a plain PC-
+     * indexed one cannot (the paper's trace-cache-hint observation).
+     */
+    double pathCorrGlobalFrac = 0.15;
+    /**
+     * Fraction of RMW global sites whose store has a LATE address
+     * (computed index) but EARLY data: the reload behind it is the
+     * paper's speculative value-forwarding opportunity — the
+     * exclusive predictor's distance pairing can hand it the store
+     * data before the STA resolves.
+     */
+    double lateAddrGlobalFrac = 0.25;
+
+    // --- instruction mix ---
+    /** Fraction of body ALU ops that are FP. */
+    double fpFrac = 0.1;
+    /** Fraction of body ALU ops that are complex (multi-cycle). */
+    double complexFrac = 0.05;
+    /** Taken-probability of data-dependent branches. */
+    double dataBranchBias = 0.85;
+    /** Probability of inserting a data-dependent branch per block. */
+    double dataBranchProb = 0.12;
+};
+
+} // namespace lrs
+
+#endif // LRS_TRACE_PARAMS_HH

@@ -1,0 +1,127 @@
+#include "trace/serialize.hh"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace lrs
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'L', 'R', 'S', 'T', 'R', 'C', '0', '1'};
+
+template <typename T>
+void
+put(std::ostream &os, T v)
+{
+    // The simulator only targets little-endian hosts; static-assert
+    // rather than byte-swap.
+    static_assert(std::endian::native == std::endian::little,
+                  "serialisation assumes a little-endian host");
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw std::runtime_error("trace file truncated");
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const VecTrace &trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put<std::uint32_t>(os,
+                       static_cast<std::uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    put<std::uint64_t>(os, trace.size());
+    for (const Uop &u : trace.uops()) {
+        put<std::uint64_t>(os, u.pc);
+        put<std::uint8_t>(os, static_cast<std::uint8_t>(u.cls));
+        put<std::int8_t>(os, u.src1);
+        put<std::int8_t>(os, u.src2);
+        put<std::int8_t>(os, u.dst);
+        put<std::uint64_t>(os, u.addr);
+        put<std::uint8_t>(os, u.memSize);
+        put<std::uint8_t>(os, u.taken ? 1 : 0);
+    }
+    if (!os)
+        throw std::runtime_error("trace write failed");
+}
+
+void
+writeTraceFile(const std::string &path, const VecTrace &trace)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("cannot open for write: " + path);
+    writeTrace(f, trace);
+}
+
+std::unique_ptr<VecTrace>
+readTrace(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("not an LRS trace file");
+
+    const auto name_len = get<std::uint32_t>(is);
+    if (name_len > 4096)
+        throw std::runtime_error("implausible trace name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is)
+        throw std::runtime_error("trace file truncated");
+
+    const auto count = get<std::uint64_t>(is);
+    std::vector<Uop> uops;
+    uops.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Uop u;
+        u.pc = get<std::uint64_t>(is);
+        const auto cls = get<std::uint8_t>(is);
+        if (cls > static_cast<std::uint8_t>(UopClass::Branch))
+            throw std::runtime_error("malformed uop class");
+        u.cls = static_cast<UopClass>(cls);
+        u.src1 = get<std::int8_t>(is);
+        u.src2 = get<std::int8_t>(is);
+        u.dst = get<std::int8_t>(is);
+        if (u.src1 >= kNumArchRegs || u.src2 >= kNumArchRegs ||
+            u.dst >= kNumArchRegs || u.src1 < -1 || u.src2 < -1 ||
+            u.dst < -1) {
+            throw std::runtime_error("malformed uop registers");
+        }
+        u.addr = get<std::uint64_t>(is);
+        u.memSize = get<std::uint8_t>(is);
+        u.taken = get<std::uint8_t>(is) != 0;
+        uops.push_back(u);
+    }
+    return std::make_unique<VecTrace>(std::move(name),
+                                      std::move(uops));
+}
+
+std::unique_ptr<VecTrace>
+readTraceFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("cannot open for read: " + path);
+    return readTrace(f);
+}
+
+} // namespace lrs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binary trace serialisation.
+ *
+ * Lets users persist generated traces (for exact cross-machine
+ * reproduction) or import uop streams produced by external tools
+ * (e.g. a binary-instrumentation pipeline) instead of the synthetic
+ * generator. The format is a fixed little-endian record stream with a
+ * magic/version header; see writeTrace() for the layout.
+ */
+
+#ifndef LRS_TRACE_SERIALIZE_HH
+#define LRS_TRACE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/stream.hh"
+
+namespace lrs
+{
+
+/**
+ * Write @p trace to @p os.
+ *
+ * Layout: 8-byte magic "LRSTRC01", u32 name length, name bytes,
+ * u64 uop count, then per uop: u64 pc, u8 class, i8 src1, i8 src2,
+ * i8 dst, u64 addr, u8 memSize, u8 taken.
+ *
+ * @throws std::runtime_error on stream failure.
+ */
+void writeTrace(std::ostream &os, const VecTrace &trace);
+
+/** Convenience: write to a file path. */
+void writeTraceFile(const std::string &path, const VecTrace &trace);
+
+/**
+ * Read a trace previously written with writeTrace().
+ *
+ * @throws std::runtime_error on bad magic, truncation, or malformed
+ *         records (out-of-range class or register numbers).
+ */
+std::unique_ptr<VecTrace> readTrace(std::istream &is);
+
+/** Convenience: read from a file path. */
+std::unique_ptr<VecTrace> readTraceFile(const std::string &path);
+
+} // namespace lrs
+
+#endif // LRS_TRACE_SERIALIZE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace stream abstraction and the materialised in-memory trace.
+ *
+ * The simulator is trace driven (paper section 3): it consumes a
+ * sequence of uops in correct-path program order. Benches run the same
+ * trace under several machine configurations, so traces are generated
+ * once and materialised into a vector.
+ */
+
+#ifndef LRS_TRACE_STREAM_HH
+#define LRS_TRACE_STREAM_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/uop.hh"
+
+namespace lrs
+{
+
+/**
+ * A replayable stream of uops in program order.
+ */
+class TraceStream
+{
+  public:
+    virtual ~TraceStream() = default;
+
+    /** Next uop, or nullptr at end of trace. */
+    virtual const Uop *next() = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+
+    /** Human-readable trace name. */
+    virtual const std::string &name() const = 0;
+
+    /** Total number of uops in the trace. */
+    virtual std::size_t size() const = 0;
+};
+
+/**
+ * A trace fully materialised in memory.
+ */
+class VecTrace : public TraceStream
+{
+  public:
+    VecTrace(std::string name, std::vector<Uop> uops)
+        : name_(std::move(name)), uops_(std::move(uops))
+    {
+    }
+
+    const Uop *
+    next() override
+    {
+        if (pos_ >= uops_.size())
+            return nullptr;
+        return &uops_[pos_++];
+    }
+
+    void reset() override { pos_ = 0; }
+    const std::string &name() const override { return name_; }
+    std::size_t size() const override { return uops_.size(); }
+
+    /** Direct access for analyses that want random access. */
+    const std::vector<Uop> &uops() const { return uops_; }
+
+  private:
+    std::string name_;
+    std::vector<Uop> uops_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace lrs
+
+#endif // LRS_TRACE_STREAM_HH

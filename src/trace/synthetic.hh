@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Synthetic trace generation.
+ *
+ * generateTrace() synthesises a uop stream from TraceParams. The
+ * generator first builds a fixed set of *static* code shapes (functions,
+ * array loops, pointer chases, global sites) with stable uop PCs, then
+ * walks them pseudo-randomly to emit the dynamic stream. Per-PC
+ * recurrence of collision / hit-miss / bank behaviour — the property all
+ * three of the paper's predictors rely on — therefore arises naturally
+ * rather than being painted on.
+ */
+
+#ifndef LRS_TRACE_SYNTHETIC_HH
+#define LRS_TRACE_SYNTHETIC_HH
+
+#include <memory>
+
+#include "trace/params.hh"
+#include "trace/stream.hh"
+
+namespace lrs
+{
+
+/** Generate a materialised trace from @p params (deterministic). */
+std::unique_ptr<VecTrace> generateTrace(const TraceParams &params);
+
+} // namespace lrs
+
+#endif // LRS_TRACE_SYNTHETIC_HH

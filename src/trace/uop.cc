@@ -1,0 +1,41 @@
+#include "trace/uop.hh"
+
+#include "common/stats.hh"
+
+namespace lrs
+{
+
+const char *
+uopClassName(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::IntAlu:    return "IntAlu";
+      case UopClass::FpAlu:     return "FpAlu";
+      case UopClass::Complex:   return "Complex";
+      case UopClass::Load:      return "Load";
+      case UopClass::StoreAddr: return "StoreAddr";
+      case UopClass::StoreData: return "StoreData";
+      case UopClass::Branch:    return "Branch";
+    }
+    return "?";
+}
+
+std::string
+Uop::toString() const
+{
+    std::string s = strprintf("%-9s pc=0x%llx", uopClassName(cls),
+                              static_cast<unsigned long long>(pc));
+    if (dst >= 0)
+        s += strprintf(" d=r%d", dst);
+    if (src1 >= 0)
+        s += strprintf(" s1=r%d", src1);
+    if (src2 >= 0)
+        s += strprintf(" s2=r%d", src2);
+    if (addr != kAddrInvalid)
+        s += strprintf(" [0x%llx]", static_cast<unsigned long long>(addr));
+    if (isBranch())
+        s += taken ? " T" : " NT";
+    return s;
+}
+
+} // namespace lrs

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the bank predictors and the paper's section-4.3
+ * evaluation metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "predictors/bank_pred.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(BankMetric, PerfectPredictorScoresOneAtZeroPenalty)
+{
+    // P=1, R->inf, penalty 0: metric -> 2 * 0.5*R/(R+1) -> 1.
+    EXPECT_NEAR(bankMetric(1.0, 1e9, 0.0), 1.0, 1e-6);
+}
+
+TEST(BankMetric, NoPredictionsScoreZero)
+{
+    EXPECT_DOUBLE_EQ(bankMetric(0.0, 10.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(bankMetric(0.5, 0.0, 0.0), 0.0);
+}
+
+TEST(BankMetric, MatchesClosedForm)
+{
+    // Metric = P * (0.5R + 1 - pen) / (R+1) / 0.5.
+    const double P = 0.7, R = 32.0, pen = 4.0;
+    const double expect = P * (0.5 * R + 1 - pen) / (R + 1) / 0.5;
+    EXPECT_NEAR(bankMetric(P, R, pen), expect, 1e-12);
+}
+
+TEST(BankMetric, DecreasesWithPenalty)
+{
+    const double m0 = bankMetric(0.7, 30, 0);
+    const double m4 = bankMetric(0.7, 30, 4);
+    const double m8 = bankMetric(0.7, 30, 8);
+    EXPECT_GT(m0, m4);
+    EXPECT_GT(m4, m8);
+}
+
+TEST(BankMetric, AccuratePredictorDegradesSlower)
+{
+    // Paper: "a small penalty means we must choose a predictor with a
+    // high prediction rate, even if it is less accurate; a higher
+    // penalty calls for a more accurate predictor."
+    const double rate_heavy_0 = bankMetric(0.9, 10, 0);   // 90%/~91%
+    const double acc_heavy_0 = bankMetric(0.6, 100, 0);   // 60%/~99%
+    EXPECT_GT(rate_heavy_0, acc_heavy_0);
+    const double rate_heavy_8 = bankMetric(0.9, 10, 8);
+    const double acc_heavy_8 = bankMetric(0.6, 100, 8);
+    EXPECT_LT(rate_heavy_8, acc_heavy_8);
+}
+
+TEST(BinaryBankPredictor, LearnsAlternatingBanks)
+{
+    auto pred = makeBankPredictorC();
+    // Strided load alternating banks 0,1,0,1... is a period-2
+    // pattern; history components learn it.
+    for (int i = 0; i < 200; ++i)
+        pred->update(0x4000, i % 2);
+    int correct = 0, predicted = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto p = pred->predict(0x4000);
+        if (p.valid) {
+            ++predicted;
+            correct += p.bank == static_cast<unsigned>(i % 2);
+        }
+        pred->update(0x4000, i % 2);
+    }
+    EXPECT_GT(predicted, 80);
+    EXPECT_GT(static_cast<double>(correct) / predicted, 0.95);
+}
+
+TEST(BinaryBankPredictor, UnanimityDeclinesOnRandomStream)
+{
+    auto pred = makeBankPredictorA();
+    Rng rng(5);
+    int predicted = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        const unsigned bank = static_cast<unsigned>(rng.below(2));
+        if (pred->predict(0x4000).valid)
+            ++predicted;
+        pred->update(0x4000, bank);
+    }
+    // On an unpredictable stream the unanimous composite should often
+    // withhold its prediction.
+    EXPECT_LT(static_cast<double>(predicted) / n, 0.8);
+}
+
+TEST(AddressBankPredictor, PredictsBankOfStridedStream)
+{
+    AddressBankPredictor pred(64, 2, 256);
+    Addr a = 0x10000;
+    for (int i = 0; i < 8; ++i) {
+        pred.updateAddr(0x4000, a);
+        a += 64;
+    }
+    const auto p = pred.predict(0x4000);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.bank, static_cast<unsigned>((a / 64) % 2));
+}
+
+TEST(AddressBankPredictor, StaysWithinOneBankForSmallStride)
+{
+    AddressBankPredictor pred(64, 2, 256);
+    // Stride 8 within one line: bank stays put for 8 accesses.
+    Addr a = 0x10000;
+    for (int i = 0; i < 6; ++i) {
+        pred.updateAddr(0x4000, a);
+        a += 8;
+    }
+    const auto p = pred.predict(0x4000);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.bank, 0u);
+}
+
+TEST(AddressBankPredictor, DeclinesOnIrregularStream)
+{
+    AddressBankPredictor pred(64, 2, 256);
+    Rng rng(17);
+    for (int i = 0; i < 64; ++i)
+        pred.updateAddr(0x4000, 0x10000 + rng.below(4096) * 16);
+    EXPECT_FALSE(pred.predict(0x4000).valid);
+}
+
+TEST(BankFactories, PaperBudgetsAndNames)
+{
+    // Paper: local 0.5KB, gshare 0.5KB, gskew 0.75KB -> composites
+    // stay under ~2.5KB.
+    EXPECT_EQ(makeBankPredictorA()->name(), "A");
+    EXPECT_EQ(makeBankPredictorB()->name(), "B");
+    EXPECT_EQ(makeBankPredictorC()->name(), "C");
+    EXPECT_LE(makeBankPredictorA()->storageBits(), 8u * 4096);
+    EXPECT_LE(makeBankPredictorB()->storageBits(), 8u * 4096);
+    EXPECT_LE(makeBankPredictorC()->storageBits(), 8u * 4096);
+}
+
+} // namespace
+} // namespace lrs

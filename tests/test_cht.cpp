@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit and property tests for the Collision History Table family:
+ * allocation policy, sticky semantics, distance annotation, the
+ * combined modes and cyclic clearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "predictors/cht.hh"
+
+namespace lrs
+{
+namespace
+{
+
+ChtParams
+fullCht(std::size_t entries = 256)
+{
+    ChtParams p;
+    p.kind = ChtKind::Full;
+    p.entries = entries;
+    p.assoc = 4;
+    p.counterBits = 2;
+    return p;
+}
+
+TEST(ChtFull, DefaultPredictionIsNonColliding)
+{
+    Cht cht(fullCht());
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtFull, AllocatesOnlyOnCollision)
+{
+    Cht cht(fullCht());
+    // Non-colliding updates must not allocate an entry...
+    for (int i = 0; i < 10; ++i)
+        cht.update(0x4000, false);
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+    // ...so the first collision allocates and a second trains the
+    // 2-bit counter over its threshold.
+    cht.update(0x4000, true);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtFull, CounterAllowsBehaviourChange)
+{
+    Cht cht(fullCht());
+    cht.update(0x4000, true);
+    cht.update(0x4000, true);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    // The load stops colliding; the 2-bit counter follows.
+    for (int i = 0; i < 4; ++i)
+        cht.update(0x4000, false);
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtFull, StickyVariantNeverForgets)
+{
+    ChtParams p = fullCht();
+    p.sticky = true;
+    Cht cht(p);
+    cht.update(0x4000, true);
+    for (int i = 0; i < 100; ++i)
+        cht.update(0x4000, false);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtFull, DistanceTracksMinimum)
+{
+    ChtParams p = fullCht();
+    p.trackDistance = true;
+    Cht cht(p);
+    cht.update(0x4000, true, 7);
+    cht.update(0x4000, true, 3);
+    cht.update(0x4000, true, 5); // must not raise the minimum
+    const auto pred = cht.predict(0x4000);
+    EXPECT_TRUE(pred.colliding);
+    EXPECT_EQ(pred.distance, 3u);
+}
+
+TEST(ChtFull, DistanceSaturates)
+{
+    ChtParams p = fullCht();
+    p.trackDistance = true;
+    Cht cht(p);
+    cht.update(0x4000, true, 1000);
+    EXPECT_EQ(cht.predict(0x4000).distance, Cht::kMaxDistance);
+}
+
+TEST(ChtFull, DistinctPcsIndependent)
+{
+    Cht cht(fullCht());
+    cht.update(0x4000, true);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    EXPECT_FALSE(cht.predict(0x4008).colliding);
+}
+
+TEST(ChtTagOnly, PresenceMeansColliding)
+{
+    ChtParams p;
+    p.kind = ChtKind::TagOnly;
+    p.entries = 256;
+    Cht cht(p);
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    // Implicitly sticky: non-colliding updates change nothing.
+    for (int i = 0; i < 50; ++i)
+        cht.update(0x4000, false);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtTagless, TrainsBothDirections)
+{
+    ChtParams p;
+    p.kind = ChtKind::Tagless;
+    p.entries = 1024;
+    p.counterBits = 1;
+    Cht cht(p);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    cht.update(0x4000, false);
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtTagless, AliasingInterferes)
+{
+    // A tiny tagless table must alias: find two PCs sharing an index
+    // and show interference — the effect Figure 9 attributes to small
+    // tagless tables.
+    ChtParams p;
+    p.kind = ChtKind::Tagless;
+    p.entries = 2;
+    p.counterBits = 1;
+    Cht cht(p);
+    // With 2 entries, PCs 2 apart share an index bit pattern often;
+    // search a pair.
+    Addr a = 0, b = 0;
+    bool found = false;
+    for (Addr x = 0x4000; x < 0x4100 && !found; x += 2) {
+        for (Addr y = x + 2; y < 0x4100 && !found; y += 2) {
+            Cht probe(p);
+            probe.update(x, true);
+            if (probe.predict(y).colliding) {
+                a = x;
+                b = y;
+                found = true;
+            }
+        }
+    }
+    ASSERT_TRUE(found);
+    cht.update(a, true);
+    EXPECT_TRUE(cht.predict(b).colliding) << "aliased pair";
+}
+
+TEST(ChtCombined, ConservativeEitherTableSuffices)
+{
+    ChtParams p;
+    p.kind = ChtKind::Combined;
+    p.entries = 256;
+    p.taglessEntries = 1024;
+    p.counterBits = 1;
+    p.combineConservative = true;
+    Cht cht(p);
+    cht.update(0x4000, true);
+    // Both the tag table (allocated) and the tagless counter (set)
+    // now say colliding.
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    // Tagless flips back to non-colliding, but the sticky tag entry
+    // keeps the conservative prediction colliding.
+    cht.update(0x4000, false);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+}
+
+TEST(ChtCombined, AgreementModeNeedsBoth)
+{
+    ChtParams p;
+    p.kind = ChtKind::Combined;
+    p.entries = 256;
+    p.taglessEntries = 1024;
+    p.counterBits = 1;
+    p.combineConservative = false;
+    Cht cht(p);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    cht.update(0x4000, false); // tagless disagrees now
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+}
+
+TEST(Cht, CyclicClearingForgetsStickyState)
+{
+    ChtParams p;
+    p.kind = ChtKind::TagOnly;
+    p.entries = 256;
+    p.clearInterval = 10;
+    Cht cht(p);
+    cht.update(0x4000, true);
+    EXPECT_TRUE(cht.predict(0x4000).colliding);
+    for (int i = 0; i < 10; ++i)
+        cht.update(0x5000 + i * 8, false);
+    EXPECT_FALSE(cht.predict(0x4000).colliding) << "cleared";
+}
+
+TEST(Cht, ClearResetsEverything)
+{
+    Cht cht(fullCht());
+    cht.update(0x4000, true);
+    cht.update(0x4000, true);
+    cht.clear();
+    EXPECT_FALSE(cht.predict(0x4000).colliding);
+}
+
+TEST(Cht, CapacityEvictionReplacesLru)
+{
+    // 1 set of 4 ways: fill 4 colliding loads, touch three, then add
+    // a fifth; the untouched one must be evicted.
+    ChtParams p = fullCht(4);
+    p.assoc = 4;
+    Cht cht(p);
+    const Addr pcs[4] = {0x1000, 0x2000, 0x3000, 0x5000};
+    for (const Addr pc : pcs) {
+        cht.update(pc, true);
+        cht.update(pc, true);
+    }
+    // Refresh all but pcs[1].
+    cht.update(pcs[0], true);
+    cht.update(pcs[2], true);
+    cht.update(pcs[3], true);
+    cht.update(0x6000, true); // allocate: evicts pcs[1]
+    EXPECT_FALSE(cht.predict(pcs[1]).colliding);
+    EXPECT_TRUE(cht.predict(pcs[0]).colliding);
+}
+
+TEST(Cht, StorageBitsOrdering)
+{
+    // Tag-only < Full (same entries); tagless is the cheapest per
+    // entry — the cost argument of section 2.1.
+    ChtParams full = fullCht(2048);
+    ChtParams tagonly = full;
+    tagonly.kind = ChtKind::TagOnly;
+    ChtParams tagless = full;
+    tagless.kind = ChtKind::Tagless;
+    tagless.counterBits = 1;
+    EXPECT_LT(Cht(tagonly).storageBits(), Cht(full).storageBits());
+    EXPECT_LT(Cht(tagless).storageBits(),
+              Cht(tagonly).storageBits());
+}
+
+TEST(Cht, NamesDescriptive)
+{
+    ChtParams p = fullCht(2048);
+    p.trackDistance = true;
+    EXPECT_EQ(Cht(p).name(), "Full-2048+dist");
+}
+
+TEST(ChtPath, SeparatesBehaviourByPath)
+{
+    ChtParams p;
+    p.kind = ChtKind::Full;
+    p.entries = 4096;
+    p.assoc = 4;
+    p.counterBits = 2;
+    p.pathBits = 4;
+    Cht cht(p);
+    // Same load PC: collides on path 0x5, never on path 0xa.
+    for (int i = 0; i < 20; ++i) {
+        cht.update(0x4000, true, 1, 0x5);
+        cht.update(0x4000, false, 0, 0xa);
+    }
+    EXPECT_TRUE(cht.predict(0x4000, 0x5).colliding);
+    EXPECT_FALSE(cht.predict(0x4000, 0xa).colliding);
+}
+
+TEST(ChtPath, ZeroPathBitsIgnoresPath)
+{
+    Cht cht(fullCht());
+    cht.update(0x4000, true, 1, 0x5);
+    cht.update(0x4000, true, 1, 0x5);
+    EXPECT_TRUE(cht.predict(0x4000, 0xff).colliding)
+        << "path must be ignored when pathBits == 0";
+}
+
+TEST(ChtPath, PathVariantsStartCold)
+{
+    ChtParams p;
+    p.kind = ChtKind::Full;
+    p.entries = 4096;
+    p.pathBits = 8;
+    Cht cht(p);
+    cht.update(0x4000, true, 1, 0x11);
+    cht.update(0x4000, true, 1, 0x11);
+    EXPECT_TRUE(cht.predict(0x4000, 0x11).colliding);
+    // A new path variant has not seen its first collision yet.
+    EXPECT_FALSE(cht.predict(0x4000, 0x22).colliding);
+}
+
+TEST(ChtPath, NameReflectsPathBits)
+{
+    ChtParams p = fullCht(2048);
+    p.pathBits = 6;
+    EXPECT_EQ(Cht(p).name(), "Full-2048+path6");
+}
+
+/** Property sweep: every kind/size learns a stable collider set. */
+class ChtKindSizeSuite
+    : public ::testing::TestWithParam<std::tuple<ChtKind, std::size_t>>
+{
+};
+
+TEST_P(ChtKindSizeSuite, LearnsStableColliders)
+{
+    const auto [kind, entries] = GetParam();
+    ChtParams p;
+    p.kind = kind;
+    p.entries = entries;
+    p.counterBits = kind == ChtKind::Tagless ? 1 : 2;
+    Cht cht(p);
+
+    // 32 colliding loads, 32 never-colliding loads.
+    Rng rng(99);
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 32; ++i) {
+            cht.update(0x4000 + i * 32, true, 1 + i % 8);
+            cht.update(0x9000 + i * 32, false);
+        }
+    }
+    int caught = 0;
+    int false_pos = 0;
+    for (int i = 0; i < 32; ++i) {
+        caught += cht.predict(0x4000 + i * 32).colliding;
+        false_pos += cht.predict(0x9000 + i * 32).colliding;
+    }
+    EXPECT_GE(caught, 30) << "misses recurring colliders";
+    // Tagless tables may alias a few; tagged ones must be exact.
+    if (kind == ChtKind::Tagless)
+        EXPECT_LE(false_pos, 8);
+    else if (kind == ChtKind::Combined)
+        EXPECT_LE(false_pos, 8); // conservative mode ORs the tagless
+    else
+        EXPECT_EQ(false_pos, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, ChtKindSizeSuite,
+    ::testing::Combine(::testing::Values(ChtKind::Full,
+                                         ChtKind::TagOnly,
+                                         ChtKind::Tagless,
+                                         ChtKind::Combined),
+                       ::testing::Values(std::size_t{256},
+                                         std::size_t{1024},
+                                         std::size_t{4096})),
+    [](const auto &info) {
+        return std::string(chtKindName(std::get<0>(info.param))) +
+               "_" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace lrs

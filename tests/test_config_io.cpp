@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the machine-configuration INI I/O and the shared enum
+ * parsers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_io.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(ConfigIo, ParsesEveryEnum)
+{
+    EXPECT_EQ(parseOrderingScheme("exclusive"),
+              OrderingScheme::Exclusive);
+    EXPECT_EQ(parseOrderingScheme("storebarrier"),
+              OrderingScheme::StoreBarrier);
+    EXPECT_EQ(parseHmpKind("local+timing"), HmpKind::LocalTiming);
+    EXPECT_EQ(parseBankMode("sliced"), BankMode::Sliced);
+    EXPECT_EQ(parseBankPredKind("addr"), BankPredKind::Addr);
+    EXPECT_EQ(parseChtKind("tagonly"), ChtKind::TagOnly);
+    EXPECT_THROW(parseOrderingScheme("bogus"), std::invalid_argument);
+    EXPECT_THROW(parseHmpKind("bogus"), std::invalid_argument);
+    EXPECT_THROW(parseBankMode("bogus"), std::invalid_argument);
+    EXPECT_THROW(parseBankPredKind("bogus"), std::invalid_argument);
+    EXPECT_THROW(parseChtKind("bogus"), std::invalid_argument);
+}
+
+TEST(ConfigIo, ParsesKeysOnTopOfBase)
+{
+    std::stringstream ss;
+    ss << "# comment\n"
+          "scheme = exclusive\n"
+          "sched_window = 64   ; trailing comment\n"
+          "\n"
+          "cht_entries = 512\n"
+          "exclusive_spec_forward = true\n";
+    const MachineConfig cfg = machineConfigFromIni(ss);
+    EXPECT_EQ(cfg.scheme, OrderingScheme::Exclusive);
+    EXPECT_EQ(cfg.schedWindow, 64);
+    EXPECT_EQ(cfg.cht.entries, 512u);
+    EXPECT_TRUE(cfg.exclusiveSpecForward);
+    // Untouched fields keep their defaults.
+    EXPECT_EQ(cfg.intUnits, 2);
+    EXPECT_EQ(cfg.retireWidth, 6);
+}
+
+TEST(ConfigIo, RejectsUnknownKey)
+{
+    std::stringstream ss;
+    ss << "warp_drive = on\n";
+    EXPECT_THROW(machineConfigFromIni(ss), std::invalid_argument);
+}
+
+TEST(ConfigIo, RejectsMalformedLine)
+{
+    std::stringstream ss;
+    ss << "sched_window 64\n";
+    EXPECT_THROW(machineConfigFromIni(ss), std::invalid_argument);
+}
+
+TEST(ConfigIo, RejectsMalformedValue)
+{
+    std::stringstream bad_int;
+    bad_int << "sched_window = sixty-four\n";
+    EXPECT_THROW(machineConfigFromIni(bad_int),
+                 std::invalid_argument);
+    std::stringstream bad_bool;
+    bad_bool << "cht_sticky = maybe\n";
+    EXPECT_THROW(machineConfigFromIni(bad_bool),
+                 std::invalid_argument);
+}
+
+TEST(ConfigIo, RoundTripPreservesEverything)
+{
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::StoreBarrier;
+    cfg.hmp = HmpKind::Chooser;
+    cfg.bankMode = BankMode::Sliced;
+    cfg.bankPred = BankPredKind::Addr;
+    cfg.numBanks = 4;
+    cfg.schedWindow = 48;
+    cfg.robSize = 96;
+    cfg.intUnits = 3;
+    cfg.memUnits = 1;
+    cfg.collisionPenalty = 12;
+    cfg.exclusiveSpecForward = true;
+    cfg.cht.kind = ChtKind::Combined;
+    cfg.cht.entries = 1024;
+    cfg.cht.sticky = true;
+    cfg.cht.pathBits = 6;
+    cfg.mem.l1.sizeBytes = 32 * 1024;
+    cfg.mem.memLatency = 99;
+
+    std::stringstream ss(machineConfigToIni(cfg));
+    const MachineConfig back = machineConfigFromIni(ss);
+    EXPECT_EQ(back.scheme, cfg.scheme);
+    EXPECT_EQ(back.hmp, cfg.hmp);
+    EXPECT_EQ(back.bankMode, cfg.bankMode);
+    EXPECT_EQ(back.bankPred, cfg.bankPred);
+    EXPECT_EQ(back.numBanks, cfg.numBanks);
+    EXPECT_EQ(back.schedWindow, cfg.schedWindow);
+    EXPECT_EQ(back.robSize, cfg.robSize);
+    EXPECT_EQ(back.intUnits, cfg.intUnits);
+    EXPECT_EQ(back.memUnits, cfg.memUnits);
+    EXPECT_EQ(back.collisionPenalty, cfg.collisionPenalty);
+    EXPECT_EQ(back.exclusiveSpecForward, cfg.exclusiveSpecForward);
+    EXPECT_EQ(back.cht.kind, cfg.cht.kind);
+    EXPECT_EQ(back.cht.entries, cfg.cht.entries);
+    EXPECT_EQ(back.cht.sticky, cfg.cht.sticky);
+    EXPECT_EQ(back.cht.pathBits, cfg.cht.pathBits);
+    EXPECT_EQ(back.mem.l1.sizeBytes, cfg.mem.l1.sizeBytes);
+    EXPECT_EQ(back.mem.memLatency, cfg.mem.memLatency);
+}
+
+TEST(ConfigIo, EmptyStreamKeepsBase)
+{
+    std::stringstream ss;
+    MachineConfig base;
+    base.schedWindow = 99;
+    const MachineConfig cfg = machineConfigFromIni(ss, base);
+    EXPECT_EQ(cfg.schedWindow, 99);
+}
+
+TEST(ConfigIo, MissingFileThrows)
+{
+    EXPECT_THROW(machineConfigFromFile("/nonexistent/cfg.ini"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace lrs

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Tests of the out-of-order core on hand-crafted micro-traces:
+ * latency semantics, resource limits, memory ordering schemes,
+ * collision penalties, classification, hit-miss speculation and
+ * branch handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/runner.hh"
+
+namespace lrs
+{
+namespace
+{
+
+/** Tiny fluent builder for hand-written uop sequences. */
+class TB
+{
+  public:
+    TB &
+    alu(Addr pc, int dst, int s1 = -1, int s2 = -1)
+    {
+        Uop u;
+        u.pc = pc;
+        u.cls = UopClass::IntAlu;
+        u.dst = static_cast<std::int8_t>(dst);
+        u.src1 = static_cast<std::int8_t>(s1);
+        u.src2 = static_cast<std::int8_t>(s2);
+        uops_.push_back(u);
+        return *this;
+    }
+
+    TB &
+    complexOp(Addr pc, int dst, int s1 = -1)
+    {
+        Uop u;
+        u.pc = pc;
+        u.cls = UopClass::Complex;
+        u.dst = static_cast<std::int8_t>(dst);
+        u.src1 = static_cast<std::int8_t>(s1);
+        uops_.push_back(u);
+        return *this;
+    }
+
+    TB &
+    fp(Addr pc, int dst, int s1 = -1)
+    {
+        Uop u;
+        u.pc = pc;
+        u.cls = UopClass::FpAlu;
+        u.dst = static_cast<std::int8_t>(dst);
+        u.src1 = static_cast<std::int8_t>(s1);
+        uops_.push_back(u);
+        return *this;
+    }
+
+    TB &
+    load(Addr pc, int dst, Addr addr, int asrc = -1,
+         std::uint8_t size = 8)
+    {
+        Uop u;
+        u.pc = pc;
+        u.cls = UopClass::Load;
+        u.dst = static_cast<std::int8_t>(dst);
+        u.src1 = static_cast<std::int8_t>(asrc);
+        u.addr = addr;
+        u.memSize = size;
+        uops_.push_back(u);
+        return *this;
+    }
+
+    /** A full store: STA (address) followed by its STD (data). */
+    TB &
+    store(Addr pc, Addr addr, int dsrc, int asrc = -1,
+          std::uint8_t size = 8)
+    {
+        Uop sta;
+        sta.pc = pc;
+        sta.cls = UopClass::StoreAddr;
+        sta.src1 = static_cast<std::int8_t>(asrc);
+        sta.addr = addr;
+        sta.memSize = size;
+        uops_.push_back(sta);
+        Uop std_uop;
+        std_uop.pc = pc + 1;
+        std_uop.cls = UopClass::StoreData;
+        std_uop.src1 = static_cast<std::int8_t>(dsrc);
+        uops_.push_back(std_uop);
+        return *this;
+    }
+
+    TB &
+    branch(Addr pc, bool taken, int src = -1)
+    {
+        Uop u;
+        u.pc = pc;
+        u.cls = UopClass::Branch;
+        u.src1 = static_cast<std::int8_t>(src);
+        u.taken = taken;
+        uops_.push_back(u);
+        return *this;
+    }
+
+    /** Repeat everything built so far @p n more times. */
+    TB &
+    repeat(int n)
+    {
+        const std::vector<Uop> block = uops_;
+        for (int i = 0; i < n; ++i)
+            uops_.insert(uops_.end(), block.begin(), block.end());
+        return *this;
+    }
+
+    VecTrace build(const std::string &name = "micro")
+    {
+        return VecTrace(name, std::move(uops_));
+    }
+
+  private:
+    std::vector<Uop> uops_;
+};
+
+MachineConfig
+base()
+{
+    MachineConfig cfg;
+    cfg.cht.trackDistance = true;
+    return cfg;
+}
+
+SimResult
+run(VecTrace t, MachineConfig cfg = base())
+{
+    return runSim(t, cfg);
+}
+
+TEST(Core, EmptyTrace)
+{
+    const auto r = run(TB().build());
+    EXPECT_EQ(r.uops, 0u);
+    EXPECT_LE(r.cycles, 2u);
+}
+
+TEST(Core, RetiresEveryUop)
+{
+    TB b;
+    for (int i = 0; i < 100; ++i)
+        b.alu(0x1000 + i * 2, i % 8);
+    const auto r = run(b.build());
+    EXPECT_EQ(r.uops, 100u);
+}
+
+TEST(Core, DependentChainSerializes)
+{
+    // 40 dependent single-cycle ALUs: >= 40 cycles.
+    TB b;
+    b.alu(0x1000, 1);
+    for (int i = 0; i < 39; ++i)
+        b.alu(0x1010 + i * 2, 1, 1);
+    const auto r = run(b.build());
+    EXPECT_GE(r.cycles, 40u);
+}
+
+TEST(Core, IndependentAlusUseBothIntUnits)
+{
+    // 60 independent ALUs on 2 int units: about 30 cycles of issue,
+    // certainly far below serial execution.
+    TB b;
+    for (int i = 0; i < 60; ++i)
+        b.alu(0x1000 + i * 2, i % 12);
+    const auto r = run(b.build());
+    EXPECT_LT(r.cycles, 45u);
+    EXPECT_GE(r.cycles, 30u);
+}
+
+TEST(Core, SingleIntUnitHalvesThroughput)
+{
+    TB b;
+    for (int i = 0; i < 60; ++i)
+        b.alu(0x1000 + i * 2, i % 12);
+    MachineConfig narrow = base();
+    narrow.intUnits = 1;
+    const auto wide = run(TB(b).build());
+    const auto slim = run(b.build(), narrow);
+    EXPECT_GT(slim.cycles, wide.cycles + 20);
+}
+
+TEST(Core, ComplexOpsSlowerThanAlu)
+{
+    TB a, c;
+    a.alu(0x1000, 1);
+    c.complexOp(0x1000, 1);
+    for (int i = 0; i < 20; ++i) {
+        a.alu(0x1010 + 2 * i, 1, 1);
+        c.complexOp(0x1010 + 2 * i, 1, 1);
+    }
+    EXPECT_GT(run(c.build()).cycles, run(a.build()).cycles + 20);
+}
+
+TEST(Core, LoadUseLatencyVisible)
+{
+    // Chain through loads (same hot address) vs chain through ALUs.
+    TB l, a;
+    l.load(0x1000, 1, 0x8000);
+    a.alu(0x1000, 1);
+    for (int i = 0; i < 20; ++i) {
+        l.load(0x1010 + 4 * i, 1, 0x8000, 1);
+        a.alu(0x1010 + 4 * i, 1, 1);
+    }
+    const auto lr = run(l.build());
+    const auto ar = run(a.build());
+    // Each load-use step costs agu(1)+L1(5) vs 1 for the ALU.
+    EXPECT_GT(lr.cycles, ar.cycles + 20 * 4);
+}
+
+TEST(Core, ColdMissesSlowerThanHits)
+{
+    TB hot, cold;
+    for (int i = 0; i < 30; ++i) {
+        hot.load(0x1000 + 4 * i, 1, 0x8000, 1);      // same line
+        cold.load(0x1000 + 4 * i, 1,
+                  0x100000 + static_cast<Addr>(i) * 4096, 1);
+    }
+    const auto hr = run(hot.build());
+    const auto cr = run(cold.build());
+    EXPECT_GT(cr.cycles, hr.cycles);
+    EXPECT_GT(cr.l1Misses, 25u);
+    EXPECT_LE(hr.l1Misses, 2u);
+}
+
+TEST(Core, StoreToLoadForwardingIsClean)
+{
+    // A slow chain at the head keeps retirement back, so the store is
+    // still in the MOB (complete but unretired) when the younger load
+    // executes: clean store-to-load forwarding, no penalty.
+    TB b;
+    b.complexOp(0x0f00, 7);
+    b.complexOp(0x0f02, 7, 7);
+    b.complexOp(0x0f04, 7, 7);
+    b.alu(0x1000, 2);
+    b.store(0x1010, 0x9000, 2);
+    b.alu(0x1020, 3);
+    b.alu(0x1022, 3, 3);
+    b.alu(0x1024, 3, 3);
+    // The load's address depends on the ALU chain, so it becomes
+    // ready only after the store completed.
+    b.load(0x1060, 4, 0x9000, /*asrc=*/3);
+    const auto r = run(b.build());
+    EXPECT_EQ(r.collisionPenalties, 0u);
+    EXPECT_GE(r.forwarded, 1u);
+}
+
+TEST(Core, OpportunisticPaysCollisionPenalty)
+{
+    // The store's data comes from a slow chain; the load of the same
+    // address right behind it is advanced by the opportunistic
+    // scheduler and must pay.
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.complexOp(0x1002, 2, 2);
+    b.store(0x1010, 0x9000, /*dsrc=*/2);
+    b.load(0x1020, 4, 0x9000);
+    b.alu(0x1030, 5, 4);
+    b.repeat(30);
+    MachineConfig cfg = base();
+    cfg.scheme = OrderingScheme::Opportunistic;
+    const auto r = run(b.build(), cfg);
+    EXPECT_GT(r.collisionPenalties, 10u);
+}
+
+TEST(Core, PerfectNeverPaysPenalty)
+{
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.store(0x1010, 0x9000, 2);
+    b.load(0x1020, 4, 0x9000);
+    b.alu(0x1030, 5, 4);
+    b.repeat(50);
+    MachineConfig cfg = base();
+    cfg.scheme = OrderingScheme::Perfect;
+    const auto r = run(b.build(), cfg);
+    EXPECT_EQ(r.collisionPenalties, 0u);
+}
+
+TEST(Core, TraditionalWaitsForUnresolvedSta)
+{
+    // A store whose ADDRESS comes from a slow chain, followed by many
+    // independent loads to other addresses: Traditional stalls them
+    // all; Opportunistic does not (and they do not collide).
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.complexOp(0x1002, 2, 2);
+    b.complexOp(0x1004, 2, 2);
+    b.store(0x1010, 0x9000, /*dsrc=*/1, /*asrc=*/2);
+    for (int i = 0; i < 8; ++i)
+        b.load(0x1020 + 4 * i, 3, 0x8000 + 8 * i);
+    b.repeat(30);
+    MachineConfig trad = base();
+    trad.scheme = OrderingScheme::Traditional;
+    MachineConfig opp = base();
+    opp.scheme = OrderingScheme::Opportunistic;
+    const auto rt = run(TB(b).build(), trad);
+    const auto ro = run(b.build(), opp);
+    EXPECT_GT(rt.cycles, ro.cycles + 20);
+    EXPECT_EQ(ro.collisionPenalties, 0u);
+}
+
+TEST(Core, ClassificationNotConflicting)
+{
+    TB b;
+    for (int i = 0; i < 20; ++i)
+        b.load(0x1000 + 4 * i, 1, 0x8000);
+    const auto r = run(b.build());
+    EXPECT_EQ(r.classifiedLoads(), r.loads);
+    EXPECT_EQ(r.notConflicting, r.loads);
+}
+
+TEST(Core, ClassificationColliding)
+{
+    // Slow-address store + immediate same-address load, repeated.
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.store(0x1010, 0x9000, 1, /*asrc=*/2);
+    b.load(0x1020, 4, 0x9000);
+    b.repeat(40);
+    MachineConfig cfg = base();
+    cfg.scheme = OrderingScheme::Opportunistic;
+    const auto r = run(b.build(), cfg);
+    EXPECT_GT(r.actuallyColliding(), 30u);
+}
+
+TEST(Core, ClassificationConflictingNotColliding)
+{
+    // Slow-address store + immediate DIFFERENT-address load.
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.store(0x1010, 0x9000, 1, /*asrc=*/2);
+    b.load(0x1020, 4, 0x8000);
+    b.repeat(40);
+    MachineConfig cfg = base();
+    cfg.scheme = OrderingScheme::Opportunistic;
+    const auto r = run(b.build(), cfg);
+    EXPECT_GT(r.ancPnc + r.ancPc, 30u);
+    EXPECT_EQ(r.classifiedLoads(), r.loads);
+}
+
+TEST(Core, InclusiveChtLearnsRecurrentCollider)
+{
+    // After warmup, the CHT predicts the collider and the inclusive
+    // scheme stops paying penalties; the opportunistic scheme keeps
+    // paying.
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.complexOp(0x1002, 2, 2);
+    b.store(0x1010, 0x9000, 2, /*asrc=*/2);
+    b.load(0x1020, 4, 0x9000);
+    b.alu(0x1030, 5, 4);
+    b.repeat(60);
+    MachineConfig incl = base();
+    incl.scheme = OrderingScheme::Inclusive;
+    MachineConfig opp = base();
+    opp.scheme = OrderingScheme::Opportunistic;
+    const auto ri = run(TB(b).build(), incl);
+    const auto ro = run(b.build(), opp);
+    EXPECT_LT(ri.collisionPenalties, ro.collisionPenalties / 2);
+    EXPECT_GT(ri.acPc, 40u) << "collider should be predicted";
+}
+
+TEST(Core, MispredictedBranchesStallFetch)
+{
+    // Alternating-history-defeating pseudo-random outcomes mispredict
+    // often; an all-taken stream predicts nearly perfectly.
+    TB noisy, steady;
+    Rng rng(123);
+    for (int i = 0; i < 300; ++i) {
+        noisy.alu(0x1000, 1);
+        noisy.branch(0x1002, rng.chance(0.5), 1);
+        steady.alu(0x1000, 1);
+        steady.branch(0x1002, true, 1);
+    }
+    const auto rn = run(noisy.build());
+    const auto rs = run(steady.build());
+    EXPECT_GT(rn.branchMispredicts, 50u);
+    EXPECT_LT(rs.branchMispredicts, 10u);
+    EXPECT_GT(rn.cycles, rs.cycles * 2);
+}
+
+TEST(Core, SchedWindowLimitsParallelism)
+{
+    // Cold misses each trailed by dependent work: with a tiny window
+    // the waiting dependents clog the reservation stations and block
+    // younger independent loads from entering, killing memory-level
+    // parallelism; a large window keeps the misses overlapped.
+    TB b;
+    for (int i = 0; i < 100; ++i) {
+        b.load(0x1000 + 16 * i, 1,
+               0x100000 + static_cast<Addr>(i) * 4096);
+        b.alu(0x1004 + 16 * i, 2, 1);
+        b.alu(0x1008 + 16 * i, 3, 2);
+        b.alu(0x100c + 16 * i, 4, 3);
+    }
+    MachineConfig small = base();
+    small.schedWindow = 4;
+    MachineConfig big = base();
+    big.schedWindow = 64;
+    const auto rs = run(TB(b).build(), small);
+    const auto rb = run(b.build(), big);
+    EXPECT_GT(rs.cycles, rb.cycles + 100);
+    EXPECT_EQ(rs.uops, rb.uops);
+}
+
+TEST(Core, HmpPerfectCountsExactly)
+{
+    TB b;
+    for (int i = 0; i < 50; ++i)
+        b.load(0x1000 + 4 * i, 1,
+               0x100000 + static_cast<Addr>(i) * 4096);
+    MachineConfig cfg = base();
+    cfg.hmp = HmpKind::Perfect;
+    const auto r = run(b.build(), cfg);
+    EXPECT_EQ(r.amPh, 0u);
+    EXPECT_EQ(r.ahPm, 0u);
+    EXPECT_EQ(r.amPm, r.l1Misses);
+}
+
+TEST(Core, HmpPerfectAvoidsReplayWaste)
+{
+    // Dependent work behind cold misses: always-hit wakes consumers
+    // too early (wasted issues); perfect knowledge avoids that.
+    TB b;
+    for (int i = 0; i < 60; ++i) {
+        b.load(0x1000 + 8 * i, 1,
+               0x100000 + static_cast<Addr>(i) * 4096);
+        b.alu(0x1004 + 8 * i, 2, 1);
+    }
+    MachineConfig ah = base();
+    ah.hmp = HmpKind::AlwaysHit;
+    MachineConfig pf = base();
+    pf.hmp = HmpKind::Perfect;
+    const auto ra = run(TB(b).build(), ah);
+    const auto rp = run(b.build(), pf);
+    EXPECT_GT(ra.wastedIssues, rp.wastedIssues + 30);
+    EXPECT_LE(rp.cycles, ra.cycles);
+}
+
+TEST(Core, UopAccountingConsistent)
+{
+    TB b;
+    b.alu(0x1000, 1);
+    b.store(0x1004, 0x9000, 1);
+    b.load(0x1010, 2, 0x9000);
+    b.branch(0x1014, true, 2);
+    b.repeat(25);
+    const auto r = run(b.build());
+    EXPECT_EQ(r.uops, 26u * 5);
+    EXPECT_EQ(r.loads, 26u);
+    EXPECT_EQ(r.stores, 26u);
+    EXPECT_EQ(r.branches, 26u);
+    EXPECT_EQ(r.classifiedLoads(), r.loads);
+}
+
+TEST(Core, IpcNeverExceedsRetireWidth)
+{
+    TB b;
+    for (int i = 0; i < 600; ++i)
+        b.alu(0x1000 + 2 * (i % 50), i % 12);
+    const auto r = run(b.build());
+    EXPECT_LE(r.ipc(), 6.0);
+    EXPECT_GT(r.ipc(), 1.0);
+}
+
+TEST(Core, ExclusiveBypassesUnrelatedSlowStore)
+{
+    // Pattern: slow unrelated store (very slow data), fast store to X,
+    // load X. Inclusive waits for BOTH stores once the load is
+    // predicted colliding; exclusive waits only for the store at the
+    // predicted distance (1).
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.complexOp(0x1002, 2, 2);
+    b.complexOp(0x1004, 2, 2);
+    b.complexOp(0x1006, 2, 2);
+    b.store(0x1010, 0xa000, /*dsrc=*/2); // slow-data store, addr known
+    b.alu(0x1020, 3);
+    b.store(0x1024, 0x9000, /*dsrc=*/3); // fast store to X
+    b.load(0x1030, 4, 0x9000);           // collides with X at dist 1
+    b.alu(0x1034, 5, 4);
+    b.branch(0x1038, true, 5);
+    b.repeat(60);
+    MachineConfig incl = base();
+    incl.scheme = OrderingScheme::Inclusive;
+    MachineConfig excl = base();
+    excl.scheme = OrderingScheme::Exclusive;
+    const auto ri = run(TB(b).build(), incl);
+    const auto re = run(b.build(), excl);
+    EXPECT_LT(re.cycles, ri.cycles);
+}
+
+TEST(Core, ConfigStringRecorded)
+{
+    MachineConfig cfg = base();
+    cfg.scheme = OrderingScheme::Exclusive;
+    cfg.hmp = HmpKind::Chooser;
+    TB b;
+    b.alu(0x1000, 1);
+    const auto r = run(b.build(), cfg);
+    EXPECT_EQ(r.config, "Exclusive/chooser");
+    EXPECT_EQ(r.trace, "micro");
+}
+
+TEST(Runner, GeomeanAndEnv)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({3.0}), 3.0);
+
+    unsetenv("LRS_TEST_ENV_KNOB");
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), 7u);
+    setenv("LRS_TEST_ENV_KNOB", "123", 1);
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), 123u);
+    setenv("LRS_TEST_ENV_KNOB", "garbage", 1);
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), 7u);
+    unsetenv("LRS_TEST_ENV_KNOB");
+}
+
+TEST(Runner, RunAllSchemesCoversOrder)
+{
+    EXPECT_EQ(allSchemes().size(), 6u);
+    EXPECT_EQ(allSchemes().front(), OrderingScheme::Traditional);
+    EXPECT_EQ(allSchemes().back(), OrderingScheme::Perfect);
+}
+
+/** Every scheme must retire every uop, deadlock-free. */
+class SchemeSuite : public ::testing::TestWithParam<OrderingScheme>
+{
+};
+
+TEST_P(SchemeSuite, RunsMixedMicroTraceToCompletion)
+{
+    TB b;
+    b.complexOp(0x1000, 2);
+    b.store(0x1010, 0x9000, 2, /*asrc=*/2);
+    b.load(0x1020, 4, 0x9000);
+    b.load(0x1024, 5, 0x8000);
+    b.store(0x1028, 0x8100, 4);
+    b.branch(0x1030, true, 5);
+    b.alu(0x1034, 6, 4, 5);
+    b.repeat(50);
+    MachineConfig cfg = base();
+    cfg.scheme = GetParam();
+    const auto r = run(b.build(), cfg);
+    EXPECT_EQ(r.uops, 51u * 9);
+    if (GetParam() == OrderingScheme::Perfect) {
+        EXPECT_EQ(r.collisionPenalties, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeSuite,
+    ::testing::Values(OrderingScheme::Traditional,
+                      OrderingScheme::Opportunistic,
+                      OrderingScheme::Postponing,
+                      OrderingScheme::Inclusive,
+                      OrderingScheme::Exclusive,
+                      OrderingScheme::Perfect),
+    [](const auto &info) {
+        return std::string(orderingSchemeName(info.param));
+    });
+
+} // namespace
+} // namespace lrs

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Property-based tests: the optimised structures are checked against
+ * straightforward reference models on randomised inputs, and the core
+ * is swept across machine configurations checking invariants that
+ * must hold for any machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/runner.hh"
+#include "memory/cache.hh"
+#include "memory/mob.hh"
+
+namespace lrs
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Cache vs a plain std::list LRU reference model.
+// ---------------------------------------------------------------
+
+/** Trivially correct set-associative LRU model. */
+class RefCache
+{
+  public:
+    RefCache(std::uint64_t sets, unsigned assoc, unsigned line)
+        : sets_(sets), assoc_(assoc), line_(line), ways_(sets)
+    {
+    }
+
+    bool
+    access(Addr addr)
+    {
+        const Addr tag = addr / line_;
+        auto &set = ways_[tag % sets_];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == tag) {
+                set.erase(it);
+                set.push_front(tag);
+                return true;
+            }
+        }
+        set.push_front(tag);
+        if (set.size() > assoc_)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    std::uint64_t sets_;
+    unsigned assoc_;
+    unsigned line_;
+    std::vector<std::list<Addr>> ways_;
+};
+
+TEST(CacheProperty, MatchesReferenceLruOnRandomStream)
+{
+    CacheParams p{"t", 4096, 4, 64, 1, 1};
+    Cache cache(p);
+    RefCache ref(cache.numSets(), p.assoc, p.lineBytes);
+
+    Rng rng(2024);
+    Cycle now = 0;
+    int mismatches = 0;
+    for (int i = 0; i < 50000; ++i) {
+        // Skewed address distribution: hot region + cold tail.
+        const Addr a = rng.chance(0.7)
+                           ? rng.below(8 * 1024)
+                           : rng.below(1024 * 1024);
+        ++now;
+        const auto r = cache.access(a, now);
+        const bool ref_hit = ref.access(a);
+        if (!r.present)
+            cache.fill(a, now); // immediate fill, like the model
+        mismatches += (r.present != ref_hit);
+        ASSERT_LT(mismatches, 1) << "diverged at access " << i;
+    }
+}
+
+TEST(CacheProperty, InclusionNeverExceedsCapacity)
+{
+    CacheParams p{"t", 2048, 2, 64, 1, 1};
+    Cache cache(p);
+    Rng rng(7);
+    Cycle now = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.below(1 << 20);
+        ++now;
+        if (!cache.access(a, now).present)
+            cache.fill(a, now);
+    }
+    // Count resident lines by probing every line we may have touched.
+    std::size_t resident = 0;
+    for (Addr a = 0; a < (1 << 20); a += 64)
+        resident += cache.probe(a, now + 1).present;
+    EXPECT_LE(resident, p.sizeBytes / p.lineBytes);
+}
+
+// ---------------------------------------------------------------
+// Mob vs a naive reference on randomised store/load interleavings.
+// ---------------------------------------------------------------
+
+struct RefStore
+{
+    SeqNum seq;
+    Addr addr;
+    std::uint8_t size;
+    Cycle sta = kCycleNever;
+    Cycle std_t = kCycleNever;
+};
+
+TEST(MobProperty, QueriesMatchNaiveModel)
+{
+    Mob mob;
+    std::vector<RefStore> ref;
+    Rng rng(99);
+    SeqNum seq = 0;
+    Cycle now = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        ++now;
+        const auto action = rng.below(10);
+        if (action < 3) { // insert a store
+            seq += 1 + rng.below(3);
+            RefStore s{seq, 0x1000 + rng.below(64) * 8,
+                       static_cast<std::uint8_t>(
+                           4u << rng.below(2)),
+                       kCycleNever, kCycleNever};
+            mob.insert(s.seq, s.addr, s.size);
+            ref.push_back(s);
+        } else if (action < 5 && !ref.empty()) { // resolve an STA
+            auto &s = ref[rng.below(ref.size())];
+            if (s.sta == kCycleNever) {
+                s.sta = now;
+                mob.staExecuted(s.seq, now);
+            }
+        } else if (action < 7 && !ref.empty()) { // resolve an STD
+            auto &s = ref[rng.below(ref.size())];
+            if (s.std_t == kCycleNever) {
+                s.std_t = now;
+                mob.stdExecuted(s.seq, now);
+            }
+        } else if (action < 8 && !ref.empty()) { // retire oldest
+            const auto &s = ref.front();
+            if (s.sta != kCycleNever && s.std_t != kCycleNever) {
+                mob.retire(s.seq);
+                ref.erase(ref.begin());
+            }
+        } else { // query as a hypothetical load
+            const SeqNum lseq = seq + 1 + rng.below(4);
+            const Addr laddr = 0x1000 + rng.below(64) * 8;
+            const std::uint8_t lsize = 8;
+
+            bool any_unknown = false, any_incomplete = false;
+            const RefStore *youngest = nullptr;
+            unsigned dist = 0, found_dist = 0;
+            for (auto it = ref.rbegin(); it != ref.rend(); ++it) {
+                if (it->seq >= lseq)
+                    continue;
+                ++dist;
+                const bool addr_known =
+                    it->sta != kCycleNever && it->sta <= now;
+                const bool data_known =
+                    it->std_t != kCycleNever && it->std_t <= now;
+                any_unknown |= !addr_known;
+                any_incomplete |= !(addr_known && data_known);
+                if (!youngest &&
+                    rangesOverlap(it->addr, it->size, laddr, lsize)) {
+                    youngest = &*it;
+                    found_dist = dist;
+                }
+            }
+            ASSERT_EQ(mob.anyUnknownAddrOlder(lseq, now), any_unknown);
+            ASSERT_EQ(mob.anyIncompleteOlder(lseq, now),
+                      any_incomplete);
+            const auto *m =
+                mob.youngestOverlapOlder(lseq, laddr, lsize);
+            ASSERT_EQ(m != nullptr, youngest != nullptr);
+            if (m) {
+                ASSERT_EQ(m->seq, youngest->seq);
+                ASSERT_EQ(mob.overlapDistance(lseq, laddr, lsize),
+                          found_dist);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Core invariants across machine configurations.
+// ---------------------------------------------------------------
+
+using MachineSweepParam =
+    std::tuple<int /*window*/, int /*intUnits*/, int /*memUnits*/,
+               OrderingScheme>;
+
+class MachineSweep
+    : public ::testing::TestWithParam<MachineSweepParam>
+{
+};
+
+TEST_P(MachineSweep, InvariantsHold)
+{
+    const auto [window, ints, mems, scheme] = GetParam();
+    MachineConfig cfg;
+    cfg.schedWindow = window;
+    cfg.intUnits = ints;
+    cfg.memUnits = mems;
+    cfg.scheme = scheme;
+    cfg.cht.trackDistance = true;
+
+    const auto tp = TraceLibrary::byName("pm", 15000);
+    const auto r = runSim(tp, cfg);
+
+    // Every uop retires exactly once.
+    EXPECT_EQ(r.uops, 15000u);
+    // Every load is classified into exactly one bucket.
+    EXPECT_EQ(r.classifiedLoads(), r.loads);
+    // Retire width bounds IPC.
+    EXPECT_LE(r.ipc(), 6.0);
+    // HMP buckets partition the loads.
+    EXPECT_EQ(r.ahPh + r.ahPm + r.amPh + r.amPm, r.loads);
+    EXPECT_EQ(r.amPh + r.amPm, r.l1Misses);
+    // Perfect disambiguation never pays.
+    if (scheme == OrderingScheme::Perfect) {
+        EXPECT_EQ(r.collisionPenalties, 0u);
+        EXPECT_EQ(r.orderViolations, 0u);
+    }
+    // Determinism.
+    const auto again = runSim(tp, cfg);
+    EXPECT_EQ(again.cycles, r.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MachineSweep,
+    ::testing::Combine(
+        ::testing::Values(8, 32, 128),
+        ::testing::Values(2, 4),
+        ::testing::Values(1, 2),
+        ::testing::Values(OrderingScheme::Traditional,
+                          OrderingScheme::Opportunistic,
+                          OrderingScheme::Exclusive,
+                          OrderingScheme::Perfect,
+                          OrderingScheme::StoreBarrier)),
+    [](const auto &info) {
+        return "w" + std::to_string(std::get<0>(info.param)) + "_i" +
+               std::to_string(std::get<1>(info.param)) + "_m" +
+               std::to_string(std::get<2>(info.param)) + "_" +
+               orderingSchemeName(std::get<3>(info.param));
+    });
+
+TEST(CoreProperty, MoreResourcesNeverHurtMuch)
+{
+    // Weak monotonicity: growing the window or the EU count must not
+    // slow the machine down by more than scheduling noise.
+    const auto tp = TraceLibrary::byName("gcc", 20000);
+    MachineConfig small;
+    small.schedWindow = 16;
+    MachineConfig big;
+    big.schedWindow = 64;
+    const auto rs = runSim(tp, small);
+    const auto rb = runSim(tp, big);
+    EXPECT_LE(rb.cycles, rs.cycles * 101 / 100);
+
+    MachineConfig narrow;
+    narrow.intUnits = 1;
+    MachineConfig wide;
+    wide.intUnits = 4;
+    const auto rn = runSim(tp, narrow);
+    const auto rw = runSim(tp, wide);
+    EXPECT_LE(rw.cycles, rn.cycles * 101 / 100);
+}
+
+TEST(CoreProperty, CollisionPenaltyMonotonicInOpportunistic)
+{
+    // Raising the collision penalty must not speed up a scheme that
+    // pays it.
+    const auto tp = TraceLibrary::byName("javac", 20000);
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Opportunistic;
+    cfg.collisionPenalty = 2;
+    const auto cheap = runSim(tp, cfg);
+    cfg.collisionPenalty = 16;
+    const auto dear = runSim(tp, cfg);
+    EXPECT_GE(dear.cycles, cheap.cycles);
+}
+
+} // namespace
+} // namespace lrs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for binary trace serialisation: round-trip fidelity, header
+ * validation, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/library.hh"
+#include "trace/serialize.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(Serialize, RoundTripsGeneratedTrace)
+{
+    auto orig =
+        TraceLibrary::make(TraceLibrary::byName("wd", 20000));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    auto back = readTrace(ss);
+
+    ASSERT_EQ(back->size(), orig->size());
+    EXPECT_EQ(back->name(), orig->name());
+    for (std::size_t i = 0; i < orig->size(); ++i) {
+        const Uop &a = orig->uops()[i];
+        const Uop &b = back->uops()[i];
+        ASSERT_EQ(a.pc, b.pc) << i;
+        ASSERT_EQ(a.cls, b.cls) << i;
+        ASSERT_EQ(a.src1, b.src1) << i;
+        ASSERT_EQ(a.src2, b.src2) << i;
+        ASSERT_EQ(a.dst, b.dst) << i;
+        ASSERT_EQ(a.addr, b.addr) << i;
+        ASSERT_EQ(a.memSize, b.memSize) << i;
+        ASSERT_EQ(a.taken, b.taken) << i;
+    }
+}
+
+TEST(Serialize, EmptyTraceRoundTrips)
+{
+    VecTrace empty("nothing", {});
+    std::stringstream ss;
+    writeTrace(ss, empty);
+    auto back = readTrace(ss);
+    EXPECT_EQ(back->size(), 0u);
+    EXPECT_EQ(back->name(), "nothing");
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOTATRACEFILE.............";
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream)
+{
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 500));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(readTrace(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptUopClass)
+{
+    VecTrace t("x", std::vector<Uop>(1));
+    std::stringstream ss;
+    writeTrace(ss, t);
+    std::string bytes = ss.str();
+    // The class byte of the first uop sits right after the 8-byte
+    // magic, 4-byte name length, 1-byte name, 8-byte count, 8-byte pc.
+    const std::size_t cls_off = 8 + 4 + 1 + 8 + 8;
+    bytes[cls_off] = 0x7f;
+    std::stringstream bad(bytes);
+    EXPECT_THROW(readTrace(bad), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    auto orig = TraceLibrary::make(TraceLibrary::byName("li", 5000));
+    const std::string path = "/tmp/lrs_test_trace.lrstrc";
+    writeTraceFile(path, *orig);
+    auto back = readTraceFile(path);
+    EXPECT_EQ(back->size(), 5000u);
+    EXPECT_EQ(back->name(), "li");
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/path.lrstrc"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace lrs

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the store-set dependence predictor ([Chry98] baseline)
+ * and its integration as an ordering scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "predictors/store_sets.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(StoreSets, UntrainedLoadsUnconstrained)
+{
+    StoreSets ss(256, 16);
+    ss.storeRenamed(0x1000, 10);
+    EXPECT_EQ(ss.loadRenamed(0x2000), StoreSets::kNoStoreSeq);
+}
+
+TEST(StoreSets, ViolationCreatesSetAndFencesLoad)
+{
+    StoreSets ss(256, 16);
+    ss.violation(0x2000, 0x1000);
+    // The next dynamic instance of the store becomes the set's last
+    // fetched store; the load must wait for it.
+    ss.storeRenamed(0x1000, 42);
+    EXPECT_EQ(ss.loadRenamed(0x2000), 42u);
+}
+
+TEST(StoreSets, CompletionEmptiesLfst)
+{
+    StoreSets ss(256, 16);
+    ss.violation(0x2000, 0x1000);
+    ss.storeRenamed(0x1000, 42);
+    ss.storeCompleted(0x1000, 42);
+    EXPECT_EQ(ss.loadRenamed(0x2000), StoreSets::kNoStoreSeq);
+}
+
+TEST(StoreSets, StaleCompletionDoesNotEmptyNewerStore)
+{
+    StoreSets ss(256, 16);
+    ss.violation(0x2000, 0x1000);
+    ss.storeRenamed(0x1000, 42);
+    ss.storeRenamed(0x1000, 50); // newer instance takes over
+    ss.storeCompleted(0x1000, 42);
+    EXPECT_EQ(ss.loadRenamed(0x2000), 50u);
+}
+
+TEST(StoreSets, MergeRuleJoinsSets)
+{
+    StoreSets ss(256, 16);
+    ss.violation(0x2000, 0x1000); // set A: load1 + store1
+    ss.violation(0x3000, 0x1100); // set B: load2 + store2
+    // Cross violation merges: load1 must now also wait for store2.
+    ss.violation(0x2000, 0x1100);
+    ss.storeRenamed(0x1100, 77);
+    EXPECT_EQ(ss.loadRenamed(0x2000), 77u);
+}
+
+TEST(StoreSets, ClearForgets)
+{
+    StoreSets ss(256, 16);
+    ss.violation(0x2000, 0x1000);
+    ss.clear();
+    ss.storeRenamed(0x1000, 42);
+    EXPECT_EQ(ss.loadRenamed(0x2000), StoreSets::kNoStoreSeq);
+}
+
+TEST(StoreSets, StorageBudgetScales)
+{
+    EXPECT_GT(StoreSets(4096, 128).storageBits(),
+              StoreSets(1024, 32).storageBits());
+}
+
+TEST(StoreSetsScheme, CutsViolationsOnRecurrentCollider)
+{
+    // The same recurrent collider as the Store Barrier test: store
+    // sets should learn the pair and nearly eliminate violations
+    // relative to the opportunistic scheme.
+    std::vector<Uop> uops;
+    for (int i = 0; i < 100; ++i) {
+        Uop cx;
+        cx.pc = 0x1000;
+        cx.cls = UopClass::Complex;
+        cx.dst = 2;
+        uops.push_back(cx);
+        Uop sta;
+        sta.pc = 0x1010;
+        sta.cls = UopClass::StoreAddr;
+        sta.addr = 0x9000;
+        sta.memSize = 8;
+        sta.src1 = 2;
+        uops.push_back(sta);
+        Uop std_uop;
+        std_uop.pc = 0x1011;
+        std_uop.cls = UopClass::StoreData;
+        std_uop.src1 = 2;
+        uops.push_back(std_uop);
+        Uop ld;
+        ld.pc = 0x1020;
+        ld.cls = UopClass::Load;
+        ld.dst = 4;
+        ld.addr = 0x9000;
+        ld.memSize = 8;
+        uops.push_back(ld);
+    }
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Opportunistic;
+    VecTrace t1("rmw", uops);
+    const auto opp = runSim(t1, cfg);
+    cfg.scheme = OrderingScheme::StoreSets;
+    VecTrace t2("rmw", uops);
+    const auto ss = runSim(t2, cfg);
+    EXPECT_LT(ss.orderViolations, opp.orderViolations / 4);
+    EXPECT_EQ(ss.uops, 400u);
+}
+
+TEST(StoreSetsScheme, RunsLibraryTraceDeterministically)
+{
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::StoreSets;
+    const auto tp = TraceLibrary::byName("pm", 20000);
+    const auto a = runSim(tp, cfg);
+    const auto b = runSim(tp, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.uops, 20000u);
+    EXPECT_EQ(a.config, std::string("StoreSets/always-hit"));
+}
+
+} // namespace
+} // namespace lrs

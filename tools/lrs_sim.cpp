@@ -1,0 +1,213 @@
+/**
+ * @file
+ * lrs_sim — command-line front end to the simulator.
+ *
+ * Runs a named synthetic trace or an imported trace file through an
+ * arbitrary machine configuration and prints the full result block;
+ * can also export generated traces for external use.
+ *
+ * Examples:
+ *   lrs_sim --trace wd --scheme exclusive --window 64
+ *   lrs_sim --trace tpcc --compare-schemes
+ *   lrs_sim --trace swim --bank-mode sliced --bank-pred addr
+ *   lrs_sim --trace gcc --len 500000 --dump-trace gcc.lrstrc
+ *   lrs_sim --trace-file gcc.lrstrc --hmp local+timing
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "common/stats.hh"
+#include "core/config_io.hh"
+#include "core/runner.hh"
+#include "trace/serialize.hh"
+
+using namespace lrs;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --trace NAME          named synthetic trace (e.g. wd, gcc,"
+        " swim, tpcc)\n"
+        "  --trace-file PATH     run a serialised trace file instead\n"
+        "  --len N               uops to generate (default 200000)\n"
+        "  --scheme S            traditional|opportunistic|postponing|"
+        "inclusive|\n"
+        "                        exclusive|perfect|storebarrier|storesets\n"
+        "  --hmp H               always-hit|local|chooser|local+timing|"
+        "perfect\n"
+        "  --bank-mode M         multiported|conventional|dual|sliced\n"
+        "  --bank-pred P         none|A|B|C|addr\n"
+        "  --banks N             cache banks (power of two, <= 8)\n"
+        "  --window N            scheduling window entries\n"
+        "  --int N / --mem N     execution unit counts\n"
+        "  --cht KIND            full|tagonly|tagless|combined\n"
+        "  --cht-entries N       CHT entries\n"
+        "  --config PATH         load a machine config file (see "
+        "--dump-config)\n"
+        "  --dump-config         print the effective config as INI "
+        "and exit\n"
+        "  --compare-schemes     run all ordering schemes and report "
+        "speedups\n"
+        "  --dump-trace PATH     write the generated trace and exit\n",
+        argv0);
+    std::exit(2);
+}
+
+void
+printResult(const SimResult &r)
+{
+    const auto pct = [&](std::uint64_t n, std::uint64_t d) {
+        return d ? 100.0 * static_cast<double>(n) /
+                       static_cast<double>(d)
+                 : 0.0;
+    };
+    std::printf("trace          %s\n", r.trace.c_str());
+    std::printf("config         %s\n", r.config.c_str());
+    std::printf("cycles         %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("uops           %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(r.uops), r.ipc());
+    std::printf("loads          %llu (%.1f%% of uops)\n",
+                static_cast<unsigned long long>(r.loads),
+                pct(r.loads, r.uops));
+    std::printf("  no-conflict  %.1f%%   ANC %.1f%%   AC %.1f%%\n",
+                pct(r.notConflicting, r.classifiedLoads()),
+                pct(r.ancPnc + r.ancPc, r.classifiedLoads()),
+                pct(r.actuallyColliding(), r.classifiedLoads()));
+    std::printf("  pred mix     AC-PC %.2f%%  AC-PNC %.2f%%  "
+                "ANC-PC %.2f%%\n",
+                pct(r.acPc, r.classifiedLoads()),
+                pct(r.acPnc, r.classifiedLoads()),
+                pct(r.ancPc, r.classifiedLoads()));
+    std::printf("  forwarded    %llu   penalized %llu   violations "
+                "%llu\n",
+                static_cast<unsigned long long>(r.forwarded),
+                static_cast<unsigned long long>(r.collisionPenalties),
+                static_cast<unsigned long long>(r.orderViolations));
+    std::printf("L1 misses      %llu (%.2f%% of loads, %llu dynamic)\n",
+                static_cast<unsigned long long>(r.l1Misses),
+                pct(r.l1Misses, r.loads),
+                static_cast<unsigned long long>(r.dynamicMisses));
+    std::printf("hit-miss pred  AH-PH %llu  AH-PM %llu  AM-PH %llu  "
+                "AM-PM %llu\n",
+                static_cast<unsigned long long>(r.ahPh),
+                static_cast<unsigned long long>(r.ahPm),
+                static_cast<unsigned long long>(r.amPh),
+                static_cast<unsigned long long>(r.amPm));
+    std::printf("branches       %llu (%.2f%% mispredicted)\n",
+                static_cast<unsigned long long>(r.branches),
+                pct(r.branchMispredicts, r.branches));
+    std::printf("issue waste    %llu wasted slots, %llu replayed "
+                "uops\n",
+                static_cast<unsigned long long>(r.wastedIssues),
+                static_cast<unsigned long long>(r.replayedUops));
+    if (r.bankConflicts || r.bankMispredicts || r.bankReplications) {
+        std::printf("banked pipe    %llu conflicts, %llu mispredicts, "
+                    "%llu replications\n",
+                    static_cast<unsigned long long>(r.bankConflicts),
+                    static_cast<unsigned long long>(r.bankMispredicts),
+                    static_cast<unsigned long long>(
+                        r.bankReplications));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_name = "wd";
+    std::string trace_file;
+    std::string dump_path;
+    std::uint64_t len = 200000;
+    bool compare = false;
+
+    MachineConfig cfg;
+    cfg.cht.trackDistance = true;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    usage(argv[0]);
+                return argv[++i];
+            };
+            if (a == "--trace") trace_name = next();
+            else if (a == "--trace-file") trace_file = next();
+            else if (a == "--len") len = std::stoull(next());
+            else if (a == "--scheme") cfg.scheme = parseOrderingScheme(next());
+            else if (a == "--hmp") cfg.hmp = parseHmpKind(next());
+            else if (a == "--bank-mode")
+                cfg.bankMode = parseBankMode(next());
+            else if (a == "--bank-pred")
+                cfg.bankPred = parseBankPredKind(next());
+            else if (a == "--banks")
+                cfg.numBanks = static_cast<unsigned>(std::stoul(next()));
+            else if (a == "--window") cfg.schedWindow = std::stoi(next());
+            else if (a == "--int") cfg.intUnits = std::stoi(next());
+            else if (a == "--mem") cfg.memUnits = std::stoi(next());
+            else if (a == "--cht") cfg.cht.kind = parseChtKind(next());
+            else if (a == "--cht-entries")
+                cfg.cht.entries = std::stoull(next());
+            else if (a == "--config")
+                cfg = machineConfigFromFile(next(), cfg);
+            else if (a == "--dump-config") {
+                std::cout << machineConfigToIni(cfg);
+                return 0;
+            }
+            else if (a == "--compare-schemes") compare = true;
+            else if (a == "--dump-trace") dump_path = next();
+            else if (a == "--help" || a == "-h") usage(argv[0]);
+            else {
+                std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+                usage(argv[0]);
+            }
+        }
+
+        std::unique_ptr<VecTrace> trace;
+        if (!trace_file.empty())
+            trace = readTraceFile(trace_file);
+        else
+            trace = TraceLibrary::make(
+                TraceLibrary::byName(trace_name, len));
+
+        if (!dump_path.empty()) {
+            writeTraceFile(dump_path, *trace);
+            std::printf("wrote %zu uops to %s\n", trace->size(),
+                        dump_path.c_str());
+            return 0;
+        }
+
+        if (compare) {
+            const auto results = runAllSchemes(*trace, cfg);
+            const SimResult &base = results.front();
+            TextTable t({"scheme", "cycles", "IPC", "speedup"});
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                t.startRow();
+                t.cell(orderingSchemeName(allSchemes()[i]));
+                t.cell(strprintf("%llu", static_cast<unsigned long long>(
+                                             results[i].cycles)));
+                t.cell(results[i].ipc(), 2);
+                t.cell(results[i].speedupOver(base), 3);
+            }
+            t.print(std::cout);
+            return 0;
+        }
+
+        printResult(runSim(*trace, cfg));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
