@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l2hmp.dir/ablation_l2hmp.cpp.o"
+  "CMakeFiles/ablation_l2hmp.dir/ablation_l2hmp.cpp.o.d"
+  "ablation_l2hmp"
+  "ablation_l2hmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l2hmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

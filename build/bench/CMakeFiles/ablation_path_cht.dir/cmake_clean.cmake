@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_cht.dir/ablation_path_cht.cpp.o"
+  "CMakeFiles/ablation_path_cht.dir/ablation_path_cht.cpp.o.d"
+  "ablation_path_cht"
+  "ablation_path_cht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_cht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pipeline_compare.dir/fig04_pipeline_compare.cpp.o"
+  "CMakeFiles/fig04_pipeline_compare.dir/fig04_pipeline_compare.cpp.o.d"
+  "fig04_pipeline_compare"
+  "fig04_pipeline_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pipeline_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_load_classification.dir/fig05_load_classification.cpp.o"
+  "CMakeFiles/fig05_load_classification.dir/fig05_load_classification.cpp.o.d"
+  "fig05_load_classification"
+  "fig05_load_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_load_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

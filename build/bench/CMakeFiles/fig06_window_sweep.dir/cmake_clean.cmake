@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_window_sweep.dir/fig06_window_sweep.cpp.o"
+  "CMakeFiles/fig06_window_sweep.dir/fig06_window_sweep.cpp.o.d"
+  "fig06_window_sweep"
+  "fig06_window_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ordering_speedup.dir/fig07_ordering_speedup.cpp.o"
+  "CMakeFiles/fig07_ordering_speedup.dir/fig07_ordering_speedup.cpp.o.d"
+  "fig07_ordering_speedup"
+  "fig07_ordering_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ordering_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cht_configs.dir/fig09_cht_configs.cpp.o"
+  "CMakeFiles/fig09_cht_configs.dir/fig09_cht_configs.cpp.o.d"
+  "fig09_cht_configs"
+  "fig09_cht_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cht_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hmp_stats.dir/fig10_hmp_stats.cpp.o"
+  "CMakeFiles/fig10_hmp_stats.dir/fig10_hmp_stats.cpp.o.d"
+  "fig10_hmp_stats"
+  "fig10_hmp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hmp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bank_metric.dir/fig12_bank_metric.cpp.o"
+  "CMakeFiles/fig12_bank_metric.dir/fig12_bank_metric.cpp.o.d"
+  "fig12_bank_metric"
+  "fig12_bank_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bank_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

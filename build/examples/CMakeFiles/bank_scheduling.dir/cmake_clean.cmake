@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_scheduling.dir/bank_scheduling.cpp.o"
+  "CMakeFiles/bank_scheduling.dir/bank_scheduling.cpp.o.d"
+  "bank_scheduling"
+  "bank_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

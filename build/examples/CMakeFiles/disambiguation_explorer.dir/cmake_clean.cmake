@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disambiguation_explorer.dir/disambiguation_explorer.cpp.o"
+  "CMakeFiles/disambiguation_explorer.dir/disambiguation_explorer.cpp.o.d"
+  "disambiguation_explorer"
+  "disambiguation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disambiguation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

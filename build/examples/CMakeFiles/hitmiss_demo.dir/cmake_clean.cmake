@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hitmiss_demo.dir/hitmiss_demo.cpp.o"
+  "CMakeFiles/hitmiss_demo.dir/hitmiss_demo.cpp.o.d"
+  "hitmiss_demo"
+  "hitmiss_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hitmiss_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hitmiss_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_switch.dir/smt_switch.cpp.o"
+  "CMakeFiles/smt_switch.dir/smt_switch.cpp.o.d"
+  "smt_switch"
+  "smt_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_common.dir/stats.cc.o"
+  "CMakeFiles/lrs_common.dir/stats.cc.o.d"
+  "liblrs_common.a"
+  "liblrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

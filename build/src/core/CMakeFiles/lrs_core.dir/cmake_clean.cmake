@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_core.dir/analysis.cc.o"
+  "CMakeFiles/lrs_core.dir/analysis.cc.o.d"
+  "CMakeFiles/lrs_core.dir/config_io.cc.o"
+  "CMakeFiles/lrs_core.dir/config_io.cc.o.d"
+  "CMakeFiles/lrs_core.dir/core.cc.o"
+  "CMakeFiles/lrs_core.dir/core.cc.o.d"
+  "CMakeFiles/lrs_core.dir/runner.cc.o"
+  "CMakeFiles/lrs_core.dir/runner.cc.o.d"
+  "liblrs_core.a"
+  "liblrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_memory.dir/cache.cc.o"
+  "CMakeFiles/lrs_memory.dir/cache.cc.o.d"
+  "CMakeFiles/lrs_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/lrs_memory.dir/hierarchy.cc.o.d"
+  "CMakeFiles/lrs_memory.dir/mob.cc.o"
+  "CMakeFiles/lrs_memory.dir/mob.cc.o.d"
+  "liblrs_memory.a"
+  "liblrs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

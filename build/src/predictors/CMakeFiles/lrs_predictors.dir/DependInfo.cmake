@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/addr_pred.cc" "src/predictors/CMakeFiles/lrs_predictors.dir/addr_pred.cc.o" "gcc" "src/predictors/CMakeFiles/lrs_predictors.dir/addr_pred.cc.o.d"
+  "/root/repo/src/predictors/bank_pred.cc" "src/predictors/CMakeFiles/lrs_predictors.dir/bank_pred.cc.o" "gcc" "src/predictors/CMakeFiles/lrs_predictors.dir/bank_pred.cc.o.d"
+  "/root/repo/src/predictors/chooser.cc" "src/predictors/CMakeFiles/lrs_predictors.dir/chooser.cc.o" "gcc" "src/predictors/CMakeFiles/lrs_predictors.dir/chooser.cc.o.d"
+  "/root/repo/src/predictors/cht.cc" "src/predictors/CMakeFiles/lrs_predictors.dir/cht.cc.o" "gcc" "src/predictors/CMakeFiles/lrs_predictors.dir/cht.cc.o.d"
+  "/root/repo/src/predictors/hitmiss.cc" "src/predictors/CMakeFiles/lrs_predictors.dir/hitmiss.cc.o" "gcc" "src/predictors/CMakeFiles/lrs_predictors.dir/hitmiss.cc.o.d"
+  "/root/repo/src/predictors/store_sets.cc" "src/predictors/CMakeFiles/lrs_predictors.dir/store_sets.cc.o" "gcc" "src/predictors/CMakeFiles/lrs_predictors.dir/store_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_predictors.dir/addr_pred.cc.o"
+  "CMakeFiles/lrs_predictors.dir/addr_pred.cc.o.d"
+  "CMakeFiles/lrs_predictors.dir/bank_pred.cc.o"
+  "CMakeFiles/lrs_predictors.dir/bank_pred.cc.o.d"
+  "CMakeFiles/lrs_predictors.dir/chooser.cc.o"
+  "CMakeFiles/lrs_predictors.dir/chooser.cc.o.d"
+  "CMakeFiles/lrs_predictors.dir/cht.cc.o"
+  "CMakeFiles/lrs_predictors.dir/cht.cc.o.d"
+  "CMakeFiles/lrs_predictors.dir/hitmiss.cc.o"
+  "CMakeFiles/lrs_predictors.dir/hitmiss.cc.o.d"
+  "CMakeFiles/lrs_predictors.dir/store_sets.cc.o"
+  "CMakeFiles/lrs_predictors.dir/store_sets.cc.o.d"
+  "liblrs_predictors.a"
+  "liblrs_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

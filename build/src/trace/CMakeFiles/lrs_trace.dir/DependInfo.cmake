@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/library.cc" "src/trace/CMakeFiles/lrs_trace.dir/library.cc.o" "gcc" "src/trace/CMakeFiles/lrs_trace.dir/library.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/trace/CMakeFiles/lrs_trace.dir/serialize.cc.o" "gcc" "src/trace/CMakeFiles/lrs_trace.dir/serialize.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/lrs_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/lrs_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/uop.cc" "src/trace/CMakeFiles/lrs_trace.dir/uop.cc.o" "gcc" "src/trace/CMakeFiles/lrs_trace.dir/uop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_trace.dir/library.cc.o"
+  "CMakeFiles/lrs_trace.dir/library.cc.o.d"
+  "CMakeFiles/lrs_trace.dir/serialize.cc.o"
+  "CMakeFiles/lrs_trace.dir/serialize.cc.o.d"
+  "CMakeFiles/lrs_trace.dir/synthetic.cc.o"
+  "CMakeFiles/lrs_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/lrs_trace.dir/uop.cc.o"
+  "CMakeFiles/lrs_trace.dir/uop.cc.o.d"
+  "liblrs_trace.a"
+  "liblrs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

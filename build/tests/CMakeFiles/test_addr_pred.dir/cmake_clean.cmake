@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addr_pred.dir/test_addr_pred.cpp.o"
+  "CMakeFiles/test_addr_pred.dir/test_addr_pred.cpp.o.d"
+  "test_addr_pred"
+  "test_addr_pred.pdb"
+  "test_addr_pred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addr_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_pred.dir/test_bank_pred.cpp.o"
+  "CMakeFiles/test_bank_pred.dir/test_bank_pred.cpp.o.d"
+  "test_bank_pred"
+  "test_bank_pred.pdb"
+  "test_bank_pred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bankmodes.dir/test_bankmodes.cpp.o"
+  "CMakeFiles/test_bankmodes.dir/test_bankmodes.cpp.o.d"
+  "test_bankmodes"
+  "test_bankmodes.pdb"
+  "test_bankmodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bankmodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

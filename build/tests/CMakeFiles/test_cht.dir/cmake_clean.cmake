@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cht.dir/test_cht.cpp.o"
+  "CMakeFiles/test_cht.dir/test_cht.cpp.o.d"
+  "test_cht"
+  "test_cht.pdb"
+  "test_cht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

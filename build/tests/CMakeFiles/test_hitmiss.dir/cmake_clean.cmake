@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hitmiss.dir/test_hitmiss.cpp.o"
+  "CMakeFiles/test_hitmiss.dir/test_hitmiss.cpp.o.d"
+  "test_hitmiss"
+  "test_hitmiss.pdb"
+  "test_hitmiss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hitmiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mob.dir/test_mob.cpp.o"
+  "CMakeFiles/test_mob.dir/test_mob.cpp.o.d"
+  "test_mob"
+  "test_mob.pdb"
+  "test_mob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/lrs_sim.cpp" "tools/CMakeFiles/lrs_sim.dir/lrs_sim.cpp.o" "gcc" "tools/CMakeFiles/lrs_sim.dir/lrs_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lrs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lrs_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/lrs_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_sim.dir/lrs_sim.cpp.o"
+  "CMakeFiles/lrs_sim.dir/lrs_sim.cpp.o.d"
+  "lrs_sim"
+  "lrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

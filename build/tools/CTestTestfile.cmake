@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_basic "/root/repo/build/tools/lrs_sim" "--trace" "wd" "--len" "15000" "--scheme" "exclusive")
+set_tests_properties(cli_basic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/tools/lrs_sim" "--trace" "pm" "--len" "15000" "--compare-schemes")
+set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sliced "/root/repo/build/tools/lrs_sim" "--trace" "swim" "--len" "15000" "--bank-mode" "sliced" "--bank-pred" "addr")
+set_tests_properties(cli_sliced PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dump_config "/root/repo/build/tools/lrs_sim" "--dump-config")
+set_tests_properties(cli_dump_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "sh" "-c" "/root/repo/build/tools/lrs_sim --trace li --len 10000 --dump-trace           /root/repo/build/tools/rt.lrstrc &&           /root/repo/build/tools/lrs_sim --trace-file           /root/repo/build/tools/rt.lrstrc --scheme perfect")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/lrs_sim" "--warp-drive")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
