@@ -14,10 +14,14 @@
 #define LRS_BENCH_UTIL_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "core/runner.hh"
 #include "trace/library.hh"
@@ -75,6 +79,83 @@ printHeader(const std::string &title, const std::string &paper_note)
     std::cout << "paper reference: " << paper_note << "\n";
     std::cout << "trace length: " << traceLen() << " uops/trace\n\n";
 }
+
+/**
+ * Machine-readable companion to the text tables: each bench collects
+ * its swept rows ({"label": value, metric: value, ...}) and writes
+ *
+ *   {"bench": <name>, "trace_len": N, "rows": [...]}
+ *
+ * to $LRS_BENCH_JSON if set, else ./bench_results.json. The row flow
+ * mirrors TextTable (beginRow() then value() per column), so a bench
+ * fills both side by side. tools/bench_to_json.sh aggregates the
+ * per-bench files into the repo-level BENCH_<pr>.json trajectory.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench))
+    {
+        rows_ = json::Value::array();
+    }
+
+    /** Start a new row (finishing the previous one, if any). */
+    void
+    beginRow()
+    {
+        flushRow();
+        cur_ = json::Value::object();
+        open_ = true;
+    }
+
+    template <typename T>
+    void
+    value(const std::string &key, T v)
+    {
+        if (!open_)
+            beginRow();
+        cur_.set(key, json::Value(v));
+    }
+
+    /** Write the report; returns the path written. */
+    std::string
+    write()
+    {
+        flushRow();
+        json::Value doc = json::Value::object();
+        doc.set("bench", bench_);
+        doc.set("trace_len", traceLen());
+        doc.set("rows", std::move(rows_));
+        rows_ = json::Value::array();
+
+        const char *env = std::getenv("LRS_BENCH_JSON");
+        const std::string path =
+            env && *env ? env : "bench_results.json";
+        std::ofstream os(path, std::ios::binary);
+        if (!os)
+            throw std::runtime_error("JsonReport: cannot open " +
+                                     path);
+        os << doc.dump(2);
+        if (!os)
+            throw std::runtime_error("JsonReport: write failed: " +
+                                     path);
+        return path;
+    }
+
+  private:
+    void
+    flushRow()
+    {
+        if (open_)
+            rows_.push(std::move(cur_));
+        open_ = false;
+    }
+
+    std::string bench_;
+    json::Value rows_;
+    json::Value cur_;
+    bool open_ = false;
+};
 
 } // namespace lrs::benchutil
 

@@ -58,6 +58,7 @@ main()
 
     TextTable t({"pipeline", "rel. perf", "conflicts/kload",
                  "mispred/kload", "replicated/kload"});
+    JsonReport jr("fig04_pipeline_compare");
     std::vector<double> base_cycles;
 
     for (const auto &ms : modes) {
@@ -88,7 +89,14 @@ main()
         t.cell(conf / n, 1);
         t.cell(mis / n, 1);
         t.cell(rep / n, 1);
+        jr.beginRow();
+        jr.value("pipeline", ms.label);
+        jr.value("rel_perf", rel / n);
+        jr.value("conflicts_per_kload", conf / n);
+        jr.value("mispredicts_per_kload", mis / n);
+        jr.value("replications_per_kload", rep / n);
     }
     t.print(std::cout);
+    jr.write();
     return 0;
 }

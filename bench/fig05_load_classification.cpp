@@ -32,6 +32,7 @@ main()
     cfg.scheme = OrderingScheme::Traditional;
 
     TextTable t({"group", "traces", "AC", "ANC", "no-conflict"});
+    JsonReport jr("fig05_load_classification");
     for (const auto g : groups) {
         std::uint64_t ac = 0, anc = 0, nc = 0;
         const auto traces = groupTraces(g, 4);
@@ -48,7 +49,14 @@ main()
         t.cellPct(ac / n, 1);
         t.cellPct(anc / n, 1);
         t.cellPct(nc / n, 1);
+        jr.beginRow();
+        jr.value("group", traceGroupName(g));
+        jr.value("traces", static_cast<std::uint64_t>(traces.size()));
+        jr.value("ac_frac", ac / n);
+        jr.value("anc_frac", anc / n);
+        jr.value("no_conflict_frac", nc / n);
     }
     t.print(std::cout);
+    jr.write();
     return 0;
 }

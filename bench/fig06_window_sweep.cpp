@@ -24,6 +24,7 @@ main()
     const auto traces = groupTraces(TraceGroup::SysmarkNT, 4);
 
     TextTable t({"window", "AC", "ANC", "no-conflict"});
+    JsonReport jr("fig06_window_sweep");
     for (const int w : windows) {
         MachineConfig cfg;
         cfg.scheme = OrderingScheme::Traditional;
@@ -41,7 +42,13 @@ main()
         t.cellPct(ac / n, 1);
         t.cellPct(anc / n, 1);
         t.cellPct(nc / n, 1);
+        jr.beginRow();
+        jr.value("window", w);
+        jr.value("ac_frac", ac / n);
+        jr.value("anc_frac", anc / n);
+        jr.value("no_conflict_frac", nc / n);
     }
     t.print(std::cout);
+    jr.write();
     return 0;
 }

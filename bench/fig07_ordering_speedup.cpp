@@ -29,6 +29,7 @@ main()
 
     TextTable t({"trace", "Postponing", "Opportunistic", "Inclusive",
                  "Exclusive", "Perfect"});
+    JsonReport jr("fig07_ordering_speedup");
     std::vector<std::vector<double>> per_scheme(5);
 
     for (const auto &tp : traces) {
@@ -53,11 +54,26 @@ main()
         t.cell(incl, 3);
         t.cell(excl, 3);
         t.cell(perf, 3);
+        jr.beginRow();
+        jr.value("trace", tp.name);
+        jr.value("postponing", post);
+        jr.value("opportunistic", opp);
+        jr.value("inclusive", incl);
+        jr.value("exclusive", excl);
+        jr.value("perfect", perf);
     }
     t.startRow();
     t.cell("NT_avg");
     for (const auto &v : per_scheme)
         t.cell(mean(v), 3);
+    jr.beginRow();
+    jr.value("trace", "NT_avg");
+    jr.value("postponing", mean(per_scheme[0]));
+    jr.value("opportunistic", mean(per_scheme[1]));
+    jr.value("inclusive", mean(per_scheme[2]));
+    jr.value("exclusive", mean(per_scheme[3]));
+    jr.value("perfect", mean(per_scheme[4]));
     t.print(std::cout);
+    jr.write();
     return 0;
 }

@@ -53,6 +53,7 @@ main()
 
     TextTable t({"group", "machine", "Postponing", "Opportunistic",
                  "Inclusive", "Exclusive", "Perfect"});
+    JsonReport jr("fig08_machine_config");
 
     for (const auto &gs : groups) {
         // Gather a small per-group trace subset.
@@ -86,8 +87,17 @@ main()
             t.cell(ws.label);
             for (const auto &v : per_scheme)
                 t.cell(mean(v), 3);
+            jr.beginRow();
+            jr.value("group", gs.label);
+            jr.value("machine", ws.label);
+            jr.value("postponing", mean(per_scheme[0]));
+            jr.value("opportunistic", mean(per_scheme[1]));
+            jr.value("inclusive", mean(per_scheme[2]));
+            jr.value("exclusive", mean(per_scheme[3]));
+            jr.value("perfect", mean(per_scheme[4]));
         }
     }
     t.print(std::cout);
+    jr.write();
     return 0;
 }

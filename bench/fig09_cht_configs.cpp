@@ -78,6 +78,7 @@ main()
 
     TextTable t({"config", "AC-PNC%c", "AC-PC%c", "ANC-PNC%c",
                  "ANC-PC%c", "ANC-PC%all", "AC-PNC%all"});
+    JsonReport jr("fig09_cht_configs");
     for (const auto &spec : specs()) {
         MachineConfig cfg;
         cfg.scheme = OrderingScheme::Traditional;
@@ -105,7 +106,16 @@ main()
         t.cellPct(anc_pc / conf, 2);
         t.cellPct(anc_pc / all, 2);
         t.cellPct(ac_pnc / all, 2);
+        jr.beginRow();
+        jr.value("config", spec.label);
+        jr.value("ac_pnc_frac_conf", ac_pnc / conf);
+        jr.value("ac_pc_frac_conf", ac_pc / conf);
+        jr.value("anc_pnc_frac_conf", anc_pnc / conf);
+        jr.value("anc_pc_frac_conf", anc_pc / conf);
+        jr.value("anc_pc_frac_all", anc_pc / all);
+        jr.value("ac_pnc_frac_all", ac_pnc / all);
     }
     t.print(std::cout);
+    jr.write();
     return 0;
 }

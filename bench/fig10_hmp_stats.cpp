@@ -47,6 +47,7 @@ main()
 
     TextTable t({"group", "predictor", "AH-PM", "AM-PM", "MISSES",
                  "coverage", "AMPM:AHPM"});
+    JsonReport jr("fig10_hmp_stats");
     for (const auto &gs : groups) {
         std::vector<TraceParams> traces;
         for (const auto g : gs.groups) {
@@ -77,8 +78,16 @@ main()
                                   static_cast<double>(agg.ahPm)
                             : static_cast<double>(agg.amPm),
                    1);
+            jr.beginRow();
+            jr.value("group", gs.label);
+            jr.value("predictor", which);
+            jr.value("ah_pm_frac", agg.falseMissFrac());
+            jr.value("am_pm_frac", agg.caughtFrac());
+            jr.value("miss_rate", agg.missRate());
+            jr.value("coverage", agg.coverage());
         }
     }
     t.print(std::cout);
+    jr.write();
     return 0;
 }

@@ -32,6 +32,7 @@ main()
 
     TextTable t({"group", "local", "chooser", "local+timing",
                  "perfect"});
+    JsonReport jr("fig11_hmp_speedup");
     std::vector<std::vector<double>> overall(kinds.size());
 
     for (const auto &[label, g] : groups) {
@@ -59,11 +60,24 @@ main()
         t.cell(label);
         for (const auto &v : per_kind)
             t.cell(mean(v), 3);
+        jr.beginRow();
+        jr.value("group", label);
+        jr.value("local", mean(per_kind[0]));
+        jr.value("chooser", mean(per_kind[1]));
+        jr.value("local_timing", mean(per_kind[2]));
+        jr.value("perfect", mean(per_kind[3]));
     }
     t.startRow();
     t.cell("Average");
     for (const auto &v : overall)
         t.cell(mean(v), 3);
+    jr.beginRow();
+    jr.value("group", "Average");
+    jr.value("local", mean(overall[0]));
+    jr.value("chooser", mean(overall[1]));
+    jr.value("local_timing", mean(overall[2]));
+    jr.value("perfect", mean(overall[3]));
     t.print(std::cout);
+    jr.write();
     return 0;
 }

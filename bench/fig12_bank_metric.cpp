@@ -59,6 +59,7 @@ main()
     };
     const std::vector<const char *> preds = {"A", "B", "C", "Addr"};
 
+    JsonReport jr("fig12_bank_metric");
     for (const auto &[label, g] : groups) {
         std::cout << "--- " << label << " ---\n";
         TextTable t({"pred", "rate", "accuracy", "R", "pen=0",
@@ -74,9 +75,17 @@ main()
             for (const double pen : {0.0, 1.0, 2.0, 4.0, 6.0, 8.0,
                                      10.0})
                 t.cell(std::max(0.0, st.metric(pen)), 3);
+            jr.beginRow();
+            jr.value("group", label);
+            jr.value("pred", which);
+            jr.value("rate", st.rate());
+            jr.value("accuracy", st.accuracy());
+            jr.value("ratio_r", st.ratioR());
+            jr.value("metric_pen4", std::max(0.0, st.metric(4.0)));
         }
         t.print(std::cout);
         std::cout << "\n";
     }
+    jr.write();
     return 0;
 }

@@ -1,0 +1,423 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace lrs::json
+{
+
+void
+Value::expect(Kind k) const
+{
+    if (kind_ != k)
+        throw std::logic_error("json::Value: wrong kind access");
+}
+
+void
+Value::push(Value v)
+{
+    expect(Kind::Array);
+    elems_.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return elems_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    throw std::logic_error("json::Value: size() on scalar");
+}
+
+const Value &
+Value::at(std::size_t i) const
+{
+    expect(Kind::Array);
+    return elems_.at(i);
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    expect(Kind::Object);
+    for (auto &kv : members_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    expect(Kind::Object);
+    for (const auto &kv : members_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        throw std::out_of_range("json: no member \"" + key + "\"");
+    return *v;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no NaN/Inf; null is the documented encoding.
+        out += "null";
+        return;
+    }
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        // Integral values print without a fraction part so counters
+        // stay readable (and exactly round-trippable).
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        appendNumber(out, num_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(str_);
+        out += '"';
+        break;
+      case Kind::Array:
+        out += '[';
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            elems_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!elems_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += escape(members_[i].first);
+            out += indent > 0 ? "\": " : "\":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+// --- reader ---
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw ParseError(msg, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLit(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Value(string());
+          case 't':
+            if (!consumeLit("true"))
+                fail("bad literal");
+            return Value(true);
+          case 'f':
+            if (!consumeLit("false"))
+                fail("bad literal");
+            return Value(false);
+          case 'n':
+            if (!consumeLit("null"))
+                fail("bad literal");
+            return Value(nullptr);
+          default:
+            return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value v = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            v.set(key, value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value v = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.push(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= h - '0';
+                    else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+                    else fail("bad \\u escape");
+                }
+                // The stats layer only ever escapes control chars;
+                // encode the BMP code point as UTF-8 (no surrogates).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        char *end = nullptr;
+        const std::string tok = s_.substr(start, pos_ - start);
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("malformed number");
+        return Value(d);
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace lrs::json

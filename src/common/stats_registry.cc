@@ -1,0 +1,208 @@
+#include "common/stats_registry.hh"
+
+#include <stdexcept>
+
+namespace lrs
+{
+
+StatsRegistry::Stat &
+StatsRegistry::add(const std::string &name, const std::string &desc,
+                   Kind kind)
+{
+    if (name.empty())
+        throw std::logic_error("StatsRegistry: empty stat name");
+    if (has(name))
+        throw std::logic_error("StatsRegistry: duplicate stat \"" +
+                               name + "\"");
+    auto s = std::make_unique<Stat>();
+    s->name = name;
+    s->desc = desc;
+    s->kind = kind;
+    stats_.push_back(std::move(s));
+    return *stats_.back();
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name,
+                       const std::string &desc)
+{
+    Stat &s = add(name, desc, Kind::OwnedCounter);
+    s.ownedCounter = std::make_unique<Counter>();
+    return *s.ownedCounter;
+}
+
+void
+StatsRegistry::bindCounter(const std::string &name,
+                           std::uint64_t *slot,
+                           const std::string &desc)
+{
+    if (slot == nullptr)
+        throw std::logic_error("StatsRegistry: null bound counter \"" +
+                               name + "\"");
+    add(name, desc, Kind::BoundCounter).boundCounter = slot;
+}
+
+Distribution &
+StatsRegistry::distribution(const std::string &name,
+                            const std::string &desc)
+{
+    Stat &s = add(name, desc, Kind::OwnedDistribution);
+    s.dist = std::make_unique<Distribution>();
+    return *s.dist;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name,
+                         std::size_t num_buckets, double bucket_width,
+                         const std::string &desc)
+{
+    Stat &s = add(name, desc, Kind::OwnedHistogram);
+    s.hist = std::make_unique<Histogram>(num_buckets, bucket_width);
+    return *s.hist;
+}
+
+void
+StatsRegistry::derived(const std::string &name,
+                       std::function<double()> getter,
+                       const std::string &desc)
+{
+    if (!getter)
+        throw std::logic_error("StatsRegistry: null getter for \"" +
+                               name + "\"");
+    add(name, desc, Kind::Derived).getter = std::move(getter);
+}
+
+StatsGroup
+StatsRegistry::group(const std::string &prefix)
+{
+    return StatsGroup(*this, prefix);
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    for (const auto &s : stats_) {
+        if (s->name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto &s : stats_)
+        out.push_back(s->name);
+    return out;
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    for (const auto &s : stats_) {
+        if (s->name != name)
+            continue;
+        switch (s->kind) {
+          case Kind::OwnedCounter:
+            return static_cast<double>(s->ownedCounter->value());
+          case Kind::BoundCounter:
+            return static_cast<double>(*s->boundCounter);
+          case Kind::OwnedDistribution:
+            return s->dist->mean();
+          case Kind::OwnedHistogram:
+            return static_cast<double>(s->hist->total());
+          case Kind::Derived:
+            return s->getter();
+        }
+    }
+    throw std::out_of_range("StatsRegistry: no stat \"" + name +
+                            "\"");
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &s : stats_) {
+        switch (s->kind) {
+          case Kind::OwnedCounter:
+            s->ownedCounter->reset();
+            break;
+          case Kind::BoundCounter:
+            *s->boundCounter = 0;
+            break;
+          case Kind::OwnedDistribution:
+            s->dist->reset();
+            break;
+          case Kind::OwnedHistogram:
+            s->hist->reset();
+            break;
+          case Kind::Derived:
+            break; // a view onto component state; nothing to reset
+        }
+    }
+}
+
+json::Value
+StatsRegistry::leafJson(const Stat &s) const
+{
+    switch (s.kind) {
+      case Kind::OwnedCounter:
+        return json::Value(s.ownedCounter->value());
+      case Kind::BoundCounter:
+        return json::Value(*s.boundCounter);
+      case Kind::Derived:
+        return json::Value(s.getter());
+      case Kind::OwnedDistribution: {
+        json::Value v = json::Value::object();
+        v.set("count", s.dist->count());
+        v.set("sum", s.dist->sum());
+        v.set("mean", s.dist->mean());
+        v.set("min", s.dist->min());
+        v.set("max", s.dist->max());
+        return v;
+      }
+      case Kind::OwnedHistogram: {
+        json::Value v = json::Value::object();
+        v.set("bucket_width", s.hist->bucketWidth());
+        json::Value counts = json::Value::array();
+        for (std::size_t i = 0; i < s.hist->numBuckets(); ++i)
+            counts.push(s.hist->bucket(i));
+        v.set("counts", std::move(counts));
+        v.set("overflow", s.hist->overflow());
+        v.set("total", s.hist->total());
+        return v;
+      }
+    }
+    return json::Value();
+}
+
+json::Value
+StatsRegistry::toJson() const
+{
+    json::Value root = json::Value::object();
+    for (const auto &s : stats_) {
+        // Walk/create the nested objects named by the dotted prefix.
+        json::Value *node = &root;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t dot = s->name.find('.', start);
+            if (dot == std::string::npos)
+                break;
+            const std::string part = s->name.substr(start, dot - start);
+            if (const json::Value *child = node->find(part);
+                child == nullptr || !child->isObject()) {
+                node->set(part, json::Value::object());
+            }
+            // set() keeps the member in place, so this lookup is the
+            // freshly inserted (or pre-existing) object.
+            node = const_cast<json::Value *>(node->find(part));
+            start = dot + 1;
+        }
+        node->set(s->name.substr(start), leafJson(*s));
+    }
+    return root;
+}
+
+} // namespace lrs

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Named, hierarchically grouped statistics registry.
+ *
+ * Components (the core, the MOB, each cache level, each predictor)
+ * register their counters/distributions/histograms under dotted names
+ * ("core.retire.uops", "mem.l1.hits", "pred.cht.updates"); the
+ * registry then provides uniform reset, lookup, and JSON export —
+ * replacing per-component hand-rolled printf tables as the
+ * machine-readable output path.
+ *
+ * Three registration styles:
+ *  - owned:   the registry allocates the stat and hands back a
+ *             reference the component increments (`counter()`,
+ *             `distribution()`, `histogram()`);
+ *  - bound:   the stat lives in the component (e.g. a SimResult
+ *             field) and the registry holds a pointer
+ *             (`bindCounter()`), so existing struct-field tallies
+ *             keep working while gaining a name;
+ *  - derived: a getter evaluated at export time (`derived()`), for
+ *             rates and component-internal values exposed through
+ *             accessors (e.g. cache hit counts).
+ *
+ * Names must be unique; re-registering a name throws
+ * std::logic_error. Export order is registration order.
+ */
+
+#ifndef LRS_COMMON_STATS_REGISTRY_HH
+#define LRS_COMMON_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace lrs
+{
+
+class StatsGroup;
+
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** Register an owned counter; returns the counter to increment. */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+
+    /** Register a counter living elsewhere (e.g. a SimResult field). */
+    void bindCounter(const std::string &name, std::uint64_t *slot,
+                     const std::string &desc = "");
+
+    /** Register an owned distribution. */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc = "");
+
+    /** Register an owned histogram. */
+    Histogram &histogram(const std::string &name,
+                         std::size_t num_buckets, double bucket_width,
+                         const std::string &desc = "");
+
+    /** Register a derived (computed-at-export) scalar. */
+    void derived(const std::string &name,
+                 std::function<double()> getter,
+                 const std::string &desc = "");
+
+    /** A prefixed view for hierarchical registration. */
+    StatsGroup group(const std::string &prefix);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return stats_.size(); }
+
+    /** Names in registration order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Current scalar value of a stat: counter value, distribution
+     * mean, histogram total, or derived getter result. Throws
+     * std::out_of_range for unknown names.
+     */
+    double value(const std::string &name) const;
+
+    /** Zero every owned and bound stat (derived stats are views). */
+    void reset();
+
+    /**
+     * Export as a nested JSON object: dotted names become nested
+     * objects ("mem.l1.hits" -> {"mem":{"l1":{"hits":N}}}).
+     * Distributions and histograms export their component values as
+     * sub-objects.
+     */
+    json::Value toJson() const;
+
+  private:
+    enum class Kind
+    {
+        OwnedCounter,
+        BoundCounter,
+        OwnedDistribution,
+        OwnedHistogram,
+        Derived,
+    };
+
+    struct Stat
+    {
+        std::string name;
+        std::string desc;
+        Kind kind;
+        std::unique_ptr<Counter> ownedCounter;
+        std::uint64_t *boundCounter = nullptr;
+        std::unique_ptr<Distribution> dist;
+        std::unique_ptr<Histogram> hist;
+        std::function<double()> getter;
+    };
+
+    Stat &add(const std::string &name, const std::string &desc,
+              Kind kind);
+
+    json::Value leafJson(const Stat &s) const;
+
+    std::vector<std::unique_ptr<Stat>> stats_; ///< registration order
+};
+
+/**
+ * Thin prefixing view over a registry: group("mem").counter("l1.hits")
+ * registers "mem.l1.hits". Groups may be nested.
+ */
+class StatsGroup
+{
+  public:
+    StatsGroup(StatsRegistry &reg, std::string prefix)
+        : reg_(reg), prefix_(std::move(prefix))
+    {}
+
+    Counter &
+    counter(const std::string &name, const std::string &desc = "")
+    {
+        return reg_.counter(join(name), desc);
+    }
+
+    void
+    bindCounter(const std::string &name, std::uint64_t *slot,
+                const std::string &desc = "")
+    {
+        reg_.bindCounter(join(name), slot, desc);
+    }
+
+    Distribution &
+    distribution(const std::string &name, const std::string &desc = "")
+    {
+        return reg_.distribution(join(name), desc);
+    }
+
+    Histogram &
+    histogram(const std::string &name, std::size_t num_buckets,
+              double bucket_width, const std::string &desc = "")
+    {
+        return reg_.histogram(join(name), num_buckets, bucket_width,
+                              desc);
+    }
+
+    void
+    derived(const std::string &name, std::function<double()> getter,
+            const std::string &desc = "")
+    {
+        reg_.derived(join(name), std::move(getter), desc);
+    }
+
+    StatsGroup
+    group(const std::string &sub)
+    {
+        return StatsGroup(reg_, join(sub));
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string
+    join(const std::string &name) const
+    {
+        return prefix_.empty() ? name : prefix_ + "." + name;
+    }
+
+    StatsRegistry &reg_;
+    std::string prefix_;
+};
+
+} // namespace lrs
+
+#endif // LRS_COMMON_STATS_REGISTRY_HH

@@ -176,6 +176,15 @@ struct MachineConfig
     // Memory hierarchy.
     HierarchyParams mem;
 
+    // Observability.
+    /**
+     * Snapshot an IntervalSample (IPC, replay rate, predictor
+     * mispredict rates, occupancies) every this many cycles into
+     * SimResult::intervals. 0 disables interval collection (no
+     * per-cycle accounting is done then).
+     */
+    std::uint64_t statsInterval = 0;
+
     /** Convenience: does the scheme use a CHT at all? */
     bool
     usesCht() const

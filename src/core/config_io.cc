@@ -189,6 +189,10 @@ machineConfigFromIni(std::istream &is, MachineConfig base)
          [](MachineConfig &c, const std::string &v) {
              c.ahpmPenalty = parseU64(v);
          }},
+        {"stats_interval",
+         [](MachineConfig &c, const std::string &v) {
+             c.statsInterval = parseU64(v);
+         }},
         {"exclusive_spec_forward",
          [](MachineConfig &c, const std::string &v) {
              c.exclusiveSpecForward = parseBool(v);
@@ -322,6 +326,7 @@ machineConfigToIni(const MachineConfig &cfg)
     os << "replay_backoff = " << cfg.replayBackoff << "\n";
     os << "reschedule_penalty = " << cfg.reschedulePenalty << "\n";
     os << "ahpm_penalty = " << cfg.ahpmPenalty << "\n";
+    os << "stats_interval = " << cfg.statsInterval << "\n";
     os << "exclusive_spec_forward = "
        << (cfg.exclusiveSpecForward ? "true" : "false") << "\n";
     os << "stride_prefetch = "

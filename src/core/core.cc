@@ -138,9 +138,75 @@ OooCore::OooCore(const MachineConfig &cfg)
 
     if (cfg_.stridePrefetch)
         prefetcher_ = std::make_unique<LoadAddressPredictor>(1024);
+
+    registerStats();
 }
 
 OooCore::~OooCore() = default;
+
+void
+OooCore::registerStats()
+{
+    StatsGroup core = statsReg_.group("core");
+    core.bindCounter("cycles", &res_.cycles, "simulated cycles");
+    core.bindCounter("uops", &res_.uops, "retired uops");
+    core.bindCounter("loads", &res_.loads, "retired loads");
+    core.bindCounter("stores", &res_.stores, "retired stores (STAs)");
+    core.bindCounter("branches", &res_.branches, "retired branches");
+    core.bindCounter("branch_mispredicts", &res_.branchMispredicts);
+    core.bindCounter("wasted_issues", &res_.wastedIssues,
+                     "issue slots burnt by replays");
+    core.bindCounter("replayed_uops", &res_.replayedUops,
+                     "uops that issued more than once");
+    core.bindCounter("prefetches", &res_.prefetches);
+    core.derived("ipc", [this] { return res_.ipc(); },
+                 "retired uops per cycle");
+
+    StatsGroup sched = statsReg_.group("sched");
+    sched.bindCounter("collision_penalties", &res_.collisionPenalties,
+                      "loads that paid the collision penalty");
+    sched.bindCounter("order_violations", &res_.orderViolations,
+                      "true memory-order violations (squashes)");
+    sched.bindCounter("forwarded", &res_.forwarded,
+                      "loads serviced by store-to-load forwarding");
+    sched.bindCounter("spec_forwards", &res_.specForwards);
+    sched.bindCounter("spec_misforwards", &res_.specMisforwards);
+    StatsGroup cls = sched.group("class");
+    cls.bindCounter("not_conflicting", &res_.notConflicting);
+    cls.bindCounter("anc_pnc", &res_.ancPnc);
+    cls.bindCounter("anc_pc", &res_.ancPc);
+    cls.bindCounter("ac_pc", &res_.acPc);
+    cls.bindCounter("ac_pnc", &res_.acPnc);
+
+    StatsGroup mem = statsReg_.group("mem");
+    mem.bindCounter("load_misses", &res_.l1Misses,
+                    "retired-load L1 misses (incl. dynamic)");
+    mem.bindCounter("dynamic_misses", &res_.dynamicMisses,
+                    "loads that hit a line still in flight");
+    mem_.registerStats(mem);
+    mob_.registerStats(mem.group("mob"));
+
+    StatsGroup pred = statsReg_.group("pred");
+    StatsGroup hmp = pred.group("hmp");
+    hmp.bindCounter("ah_ph", &res_.ahPh, "actual hit, predicted hit");
+    hmp.bindCounter("ah_pm", &res_.ahPm, "actual hit, predicted miss");
+    hmp.bindCounter("am_ph", &res_.amPh, "actual miss, predicted hit");
+    hmp.bindCounter("am_pm", &res_.amPm,
+                    "actual miss, predicted miss");
+    if (hmp_)
+        hmp_->registerStats(hmp);
+    if (cht_)
+        cht_->registerStats(pred.group("cht"));
+    StatsGroup bank = pred.group("bank");
+    bank.bindCounter("conflicts", &res_.bankConflicts,
+                     "conventional-pipe bank conflicts");
+    bank.bindCounter("mispredicts", &res_.bankMispredicts,
+                     "sliced-pipe wrong-bank re-executions");
+    bank.bindCounter("replications", &res_.bankReplications,
+                     "low-confidence all-pipe replications");
+    if (bankPred_)
+        bankPred_->registerStats(bank);
+}
 
 SimResult
 OooCore::run(TraceStream &trace)
@@ -164,18 +230,78 @@ OooCore::run(TraceStream &trace)
     pendingCollision_.clear();
     mob_.clear();
 
+    res_.statsInterval = cfg_.statsInterval;
+    iv_ = IntervalCursor{};
+    iv_.countdown = cfg_.statsInterval;
+
     while (!traceDone_ || headSeq_ != nextSeq_) {
         resolvePendingCollisions();
         retireStage();
         issueStage();
         renameStage(trace);
         ++now_;
+        if (cfg_.statsInterval) {
+            iv_.occSched += static_cast<std::uint64_t>(rsCount_);
+            iv_.occRob += nextSeq_ - headSeq_;
+            if (--iv_.countdown == 0) {
+                snapshotInterval();
+                iv_.countdown = cfg_.statsInterval;
+            }
+        }
         // A stuck machine is a simulator bug; fail loudly.
         assert(now_ < (trace.size() + 1000) * 64 &&
                "simulated core appears deadlocked");
     }
     res_.cycles = now_;
+    if (cfg_.statsInterval && now_ > iv_.cycle)
+        snapshotInterval(); // flush the final partial interval
     return res_;
+}
+
+void
+OooCore::snapshotInterval()
+{
+    const Cycle dc = now_ - iv_.cycle;
+    if (dc == 0)
+        return;
+
+    const auto delta = [](std::uint64_t cur, std::uint64_t &prev) {
+        const std::uint64_t d = cur - prev;
+        prev = cur;
+        return d;
+    };
+    const std::uint64_t du = delta(res_.uops, iv_.uops);
+    const std::uint64_t dw = delta(res_.wastedIssues, iv_.wasted);
+    const std::uint64_t dl = delta(res_.loads, iv_.loads);
+    const std::uint64_t dcls =
+        delta(res_.classifiedLoads(), iv_.classified);
+    const std::uint64_t dcht =
+        delta(res_.ancPc + res_.acPnc, iv_.chtMis);
+    const std::uint64_t dhmp = delta(res_.ahPm + res_.amPh, iv_.hmpMis);
+    const std::uint64_t dbank =
+        delta(res_.bankMispredicts, iv_.bankMis);
+
+    IntervalSample s;
+    s.cycle = now_;
+    s.uops = du;
+    const double cyc = static_cast<double>(dc);
+    s.ipc = static_cast<double>(du) / cyc;
+    s.replayRate = static_cast<double>(dw) / cyc;
+    s.chtMispredictRate =
+        dcls ? static_cast<double>(dcht) / static_cast<double>(dcls)
+             : 0.0;
+    s.hmpMispredictRate =
+        dl ? static_cast<double>(dhmp) / static_cast<double>(dl) : 0.0;
+    s.bankMispredictRate =
+        dl ? static_cast<double>(dbank) / static_cast<double>(dl)
+           : 0.0;
+    s.schedOccupancy = static_cast<double>(iv_.occSched) / cyc /
+                       static_cast<double>(cfg_.schedWindow);
+    s.robOccupancy = static_cast<double>(iv_.occRob) / cyc /
+                     static_cast<double>(cfg_.robSize);
+    iv_.occSched = iv_.occRob = 0;
+    iv_.cycle = now_;
+    res_.intervals.push_back(s);
 }
 
 Cycle
@@ -220,6 +346,7 @@ OooCore::resolvePendingCollisions()
                 now_ + cfg_.collisionPenalty;
             e.waitingOnStore = false;
             ++res_.forwarded;
+            traceUop(TraceEvent::Forward, e);
             it = pendingCollision_.erase(it);
             continue;
         }
@@ -232,6 +359,7 @@ OooCore::resolvePendingCollisions()
             e.actualReady = e.estReady = e.completeAt = data;
             e.waitingOnStore = false;
             ++res_.forwarded;
+            traceUop(TraceEvent::Forward, e);
             if (e.violationSquash)
                 fetchBlockedUntil_ = std::max(fetchBlockedUntil_, data);
             it = pendingCollision_.erase(it);
@@ -277,6 +405,7 @@ OooCore::retireStage()
             break;
 
         ++res_.uops;
+        traceUop(TraceEvent::Retire, e);
         const Uop &u = e.uop;
         if (u.isLoad()) {
             ++res_.loads;
@@ -438,11 +567,13 @@ OooCore::executeLoad(RobEntry &e)
                 // Correct pairing: the data really is the load's.
                 data = agu_done + l1_lat;
                 ++res_.forwarded;
+                traceUop(TraceEvent::Forward, e);
             } else {
                 // Wrong pairing: detected when the pair's STA
                 // resolves; the load (and its slice) re-executes.
                 ++res_.specMisforwards;
                 ++res_.collisionPenalties;
+                traceUop(TraceEvent::Squash, e);
                 e.collisionPenalized = true;
                 if (m != nullptr && (m->staDoneAt == kCycleNever ||
                                      m->stdDoneAt == kCycleNever)) {
@@ -461,6 +592,7 @@ OooCore::executeLoad(RobEntry &e)
                     fetchBlockedUntil_ =
                         std::max(fetchBlockedUntil_, data);
                     ++res_.forwarded;
+                    traceUop(TraceEvent::Forward, e);
                 } else {
                     // Real value comes from memory: re-executed
                     // access after the penalty.
@@ -481,6 +613,7 @@ OooCore::executeLoad(RobEntry &e)
         // Clean store-to-load forwarding.
         data = agu_done + l1_lat;
         ++res_.forwarded;
+        traceUop(TraceEvent::Forward, e);
     } else if (m) {
         // The load was scheduled against an incomplete store it
         // depends on: the wrong-ordering case. Its data is delayed to
@@ -497,8 +630,10 @@ OooCore::executeLoad(RobEntry &e)
         // all its dependent instructions must be re-executed or even
         // re-scheduled").
         const bool violation = !m->addrKnownAt(now_);
-        if (violation)
+        if (violation) {
             ++res_.orderViolations;
+            traceUop(TraceEvent::Squash, e);
+        }
         // The dependence baselines train on the stores that caused
         // wrong ordering.
         mob_.markViolation(m->seq);
@@ -516,6 +651,7 @@ OooCore::executeLoad(RobEntry &e)
                                 cfg_.collisionPenalty) +
                    l1_lat;
             ++res_.forwarded;
+            traceUop(TraceEvent::Forward, e);
             if (violation) {
                 // Detected when the STA executes; the squash-and-
                 // refetch recovery keeps the front end from making
@@ -625,6 +761,7 @@ OooCore::issueEntry(RobEntry &e)
     const Uop &u = e.uop;
     e.state = State::Issued;
     --rsCount_;
+    traceUop(TraceEvent::Issue, e);
 
     switch (u.cls) {
       case UopClass::IntAlu:
@@ -645,6 +782,7 @@ OooCore::issueEntry(RobEntry &e)
             fetchBlockedUntil_ =
                 std::max(fetchBlockedUntil_,
                          e.completeAt + cfg_.branchMispredictPenalty);
+            traceUop(TraceEvent::Squash, e);
         }
         break;
       case UopClass::StoreAddr: {
@@ -759,6 +897,7 @@ OooCore::issueStage()
             // the recovery adds the reschedule penalty at the end.
             --*pool;
             ++res_.wastedIssues;
+            traceUop(TraceEvent::Replay, e);
             if (!e.everWasted) {
                 e.everWasted = true;
                 ++res_.replayedUops;
@@ -894,6 +1033,7 @@ OooCore::renameStage(TraceStream &trace)
         e.seq = seq;
         e.state = State::Waiting;
         ++rsCount_;
+        traceUop(TraceEvent::Rename, e);
 
         if (u->src1 >= 0) {
             const int ps = renameTable_[u->src1];

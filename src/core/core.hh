@@ -25,8 +25,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats_registry.hh"
 #include "core/config.hh"
 #include "core/results.hh"
+#include "core/tracer.hh"
 #include "memory/hierarchy.hh"
 #include "memory/mob.hh"
 #include "predictors/bank_pred.hh"
@@ -53,6 +55,22 @@ class OooCore
     SimResult run(TraceStream &trace);
 
     const MachineConfig &config() const { return cfg_; }
+
+    /**
+     * Attach a pipeline event tracer (not owned; nullptr detaches).
+     * With no tracer attached each potential event costs a single
+     * null-pointer test.
+     */
+    void attachTracer(PipelineTracer *t) { tracer_ = t; }
+
+    /**
+     * The core's stats registry: every component's counters under
+     * dotted names ("core.*", "sched.*", "mem.*", "pred.*" — see
+     * docs/OBSERVABILITY.md). Bound counters alias the SimResult of
+     * the current/last run().
+     */
+    StatsRegistry &stats() { return statsReg_; }
+    const StatsRegistry &stats() const { return statsReg_; }
 
   private:
     /** Ground-truth collision classification of a load. */
@@ -133,6 +151,21 @@ class OooCore
     void retireStage();
     void issueStage();
     void renameStage(TraceStream &trace);
+
+    // --- observability ---
+    /** Register every component's stats (constructor-time, once). */
+    void registerStats();
+
+    /** Close the current interval and append an IntervalSample. */
+    void snapshotInterval();
+
+    /** Record a per-uop lifecycle event if a tracer is attached. */
+    void
+    traceUop(TraceEvent ev, const RobEntry &e)
+    {
+        if (tracer_)
+            tracer_->record(ev, now_, e.seq, e.uop.pc, e.uop.cls);
+    }
 
     // --- helpers ---
     RobEntry &entryAt(int slot) { return rob_[slot]; }
@@ -224,6 +257,29 @@ class OooCore
     bool traceDone_ = false;
 
     SimResult res_;
+
+    // --- observability state ---
+    PipelineTracer *tracer_ = nullptr; ///< not owned; may be null
+    StatsRegistry statsReg_;
+
+    /**
+     * Interval-series bookkeeping: totals at the last snapshot (for
+     * deltas) and occupancy accumulators over the open interval.
+     */
+    struct IntervalCursor
+    {
+        Cycle cycle = 0;
+        std::uint64_t uops = 0;
+        std::uint64_t wasted = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t classified = 0;
+        std::uint64_t chtMis = 0;
+        std::uint64_t hmpMis = 0;
+        std::uint64_t bankMis = 0;
+        std::uint64_t occSched = 0; ///< sum of rsCount_ per cycle
+        std::uint64_t occRob = 0;   ///< sum of ROB entries per cycle
+        std::uint64_t countdown = 0;
+    } iv_;
 };
 
 } // namespace lrs

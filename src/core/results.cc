@@ -1,0 +1,94 @@
+#include "core/results.hh"
+
+namespace lrs
+{
+
+json::Value
+SimResult::toJson() const
+{
+    json::Value v = json::Value::object();
+    v.set("trace", trace);
+    v.set("config", config);
+
+    v.set("cycles", cycles);
+    v.set("uops", uops);
+    v.set("loads", loads);
+    v.set("stores", stores);
+    v.set("branches", branches);
+    v.set("branch_mispredicts", branchMispredicts);
+
+    v.set("not_conflicting", notConflicting);
+    v.set("anc_pnc", ancPnc);
+    v.set("anc_pc", ancPc);
+    v.set("ac_pc", acPc);
+    v.set("ac_pnc", acPnc);
+
+    v.set("collision_penalties", collisionPenalties);
+    v.set("order_violations", orderViolations);
+    v.set("forwarded", forwarded);
+    v.set("spec_forwards", specForwards);
+    v.set("spec_misforwards", specMisforwards);
+
+    v.set("ah_ph", ahPh);
+    v.set("ah_pm", ahPm);
+    v.set("am_ph", amPh);
+    v.set("am_pm", amPm);
+    v.set("l1_misses", l1Misses);
+    v.set("dynamic_misses", dynamicMisses);
+
+    v.set("wasted_issues", wastedIssues);
+    v.set("replayed_uops", replayedUops);
+    v.set("prefetches", prefetches);
+
+    v.set("bank_conflicts", bankConflicts);
+    v.set("bank_mispredicts", bankMispredicts);
+    v.set("bank_replications", bankReplications);
+
+    // Derived ratios (NaN serialises as null per the convention in
+    // results.hh / json.hh).
+    json::Value derived = json::Value::object();
+    derived.set("ipc", ipc());
+    derived.set("conflicting", conflicting());
+    derived.set("actually_colliding", actuallyColliding());
+    derived.set("classified_loads", classifiedLoads());
+    v.set("derived", std::move(derived));
+
+    // Interval time series: one array per metric (column layout — a
+    // plotting tool can zip any series against "cycle" directly).
+    json::Value iv = json::Value::object();
+    iv.set("interval_cycles", statsInterval);
+    json::Value cycle = json::Value::array();
+    json::Value uopsArr = json::Value::array();
+    json::Value ipcArr = json::Value::array();
+    json::Value replay = json::Value::array();
+    json::Value chtMis = json::Value::array();
+    json::Value hmpMis = json::Value::array();
+    json::Value bankMis = json::Value::array();
+    json::Value schedOcc = json::Value::array();
+    json::Value robOcc = json::Value::array();
+    for (const IntervalSample &s : intervals) {
+        cycle.push(s.cycle);
+        uopsArr.push(s.uops);
+        ipcArr.push(s.ipc);
+        replay.push(s.replayRate);
+        chtMis.push(s.chtMispredictRate);
+        hmpMis.push(s.hmpMispredictRate);
+        bankMis.push(s.bankMispredictRate);
+        schedOcc.push(s.schedOccupancy);
+        robOcc.push(s.robOccupancy);
+    }
+    iv.set("cycle", std::move(cycle));
+    iv.set("uops", std::move(uopsArr));
+    iv.set("ipc", std::move(ipcArr));
+    iv.set("replay_rate", std::move(replay));
+    iv.set("cht_mispredict_rate", std::move(chtMis));
+    iv.set("hmp_mispredict_rate", std::move(hmpMis));
+    iv.set("bank_mispredict_rate", std::move(bankMis));
+    iv.set("sched_occupancy", std::move(schedOcc));
+    iv.set("rob_occupancy", std::move(robOcc));
+    v.set("intervals", std::move(iv));
+
+    return v;
+}
+
+} // namespace lrs

@@ -1,18 +1,59 @@
 /**
  * @file
  * Aggregated results of one simulation run: timing, the paper's load
- * classification (Figure 1 terminology), hit-miss prediction counts
- * and resource-waste statistics.
+ * classification (Figure 1 terminology), hit-miss prediction counts,
+ * resource-waste statistics, and the optional per-interval time
+ * series captured when MachineConfig::statsInterval is set.
+ *
+ * Ratio convention (ipc(), speedupOver()): a result that never ran
+ * has cycles == 0, and both ratios then return quiet NaN rather than
+ * 0.0 — a zero would masquerade as a real (terrible) IPC or a real
+ * (infinitely bad) speedup in averages and tables. NaN propagates
+ * loudly through arithmetic and renders as "nan" / JSON null, so an
+ * unran baseline is visible instead of silently skewing a mean.
+ * Callers that want a plottable default should test std::isnan().
  */
 
 #ifndef LRS_CORE_RESULTS_HH
 #define LRS_CORE_RESULTS_HH
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
+
+#include "common/json.hh"
 
 namespace lrs
 {
+
+/**
+ * One statsInterval-wide slice of a run: the deltas and rates the
+ * core snapshots every MachineConfig::statsInterval cycles. Rates
+ * with an empty denominator in the interval (e.g. no loads) are 0.0,
+ * keeping the series directly plottable.
+ */
+struct IntervalSample
+{
+    /** Cycle at the *end* of the interval. */
+    std::uint64_t cycle = 0;
+    /** Uops retired within the interval. */
+    std::uint64_t uops = 0;
+    /** Retired uops per cycle within the interval. */
+    double ipc = 0.0;
+    /** Wasted (replayed) issue slots per cycle. */
+    double replayRate = 0.0;
+    /** CHT mispredictions / classified loads (ANC-PC + AC-PNC). */
+    double chtMispredictRate = 0.0;
+    /** Hit-miss mispredictions / loads (AH-PM + AM-PH). */
+    double hmpMispredictRate = 0.0;
+    /** Bank mispredictions / loads (sliced pipe). */
+    double bankMispredictRate = 0.0;
+    /** Mean scheduling-window fill fraction over the interval. */
+    double schedOccupancy = 0.0;
+    /** Mean ROB fill fraction over the interval. */
+    double robOccupancy = 0.0;
+};
 
 struct SimResult
 {
@@ -66,10 +107,21 @@ struct SimResult
     std::uint64_t bankMispredicts = 0;  ///< sliced-pipe re-executions
     std::uint64_t bankReplications = 0; ///< low-confidence duplicates
 
+    // --- interval time series (empty unless statsInterval was set) ---
+    /** The statsInterval the run was captured with (0 = off). */
+    std::uint64_t statsInterval = 0;
+    std::vector<IntervalSample> intervals;
+
+    /**
+     * Retired uops per cycle. NaN when the result never ran
+     * (cycles == 0) — see the file-level ratio convention.
+     */
     double
     ipc() const
     {
-        return cycles ? static_cast<double>(uops) / cycles : 0.0;
+        return cycles ? static_cast<double>(uops) /
+                            static_cast<double>(cycles)
+                      : std::numeric_limits<double>::quiet_NaN();
     }
 
     std::uint64_t
@@ -86,12 +138,25 @@ struct SimResult
         return notConflicting + conflicting();
     }
 
-    /** Speedup of this run relative to a baseline run. */
+    /**
+     * Speedup of this run relative to a baseline run (>1 = faster
+     * than the baseline). NaN when either run never executed
+     * (cycles == 0) — see the file-level ratio convention.
+     */
     double
     speedupOver(const SimResult &base) const
     {
-        return cycles ? static_cast<double>(base.cycles) / cycles : 0.0;
+        if (cycles == 0 || base.cycles == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return static_cast<double>(base.cycles) /
+               static_cast<double>(cycles);
     }
+
+    /**
+     * Export every field (plus derived ratios and the interval
+     * series, one JSON array per metric) as a JSON object.
+     */
+    json::Value toJson() const;
 };
 
 } // namespace lrs

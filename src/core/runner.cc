@@ -1,6 +1,7 @@
 #include "core/runner.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace lrs
@@ -61,8 +62,17 @@ envU64(const char *name, std::uint64_t fallback)
         return fallback;
     char *end = nullptr;
     const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s)
+    if (end == s || *end != '\0') {
+        // An override that was set but cannot be parsed is almost
+        // certainly a typo'd experiment; silently running with the
+        // default would fake a result. Warn once per lookup.
+        std::fprintf(stderr,
+                     "warning: ignoring unparsable %s=\"%s\" "
+                     "(using %llu)\n",
+                     name, s,
+                     static_cast<unsigned long long>(fallback));
         return fallback;
+    }
     return v;
 }
 

@@ -40,7 +40,10 @@ double geomean(const std::vector<double> &values);
 /**
  * Read an unsigned integer environment override, e.g. the trace
  * length knob LRS_TRACE_LEN used by all benches. Returns @p fallback
- * when unset or unparsable.
+ * when unset; when the variable is set but not fully parsable as a
+ * decimal integer, a one-line warning goes to stderr and @p fallback
+ * is returned (a silently ignored override would fake experiment
+ * results).
  */
 std::uint64_t envU64(const char *name, std::uint64_t fallback);
 

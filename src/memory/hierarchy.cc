@@ -8,6 +8,27 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
 {
 }
 
+void
+MemoryHierarchy::registerStats(StatsGroup g)
+{
+    // The caches own their tallies; export them as derived views so
+    // the registry never outlives-or-mutates component internals.
+    const auto level = [&](StatsGroup lg, const Cache *c) {
+        lg.derived("hits",
+                   [c] { return static_cast<double>(c->hits()); },
+                   "accesses serviced by a filled line");
+        lg.derived("misses",
+                   [c] { return static_cast<double>(c->misses()); },
+                   "accesses that allocated a new line");
+        lg.derived(
+            "dynamic_misses",
+            [c] { return static_cast<double>(c->dynamicMisses()); },
+            "accesses to lines still in flight");
+    };
+    level(g.group("l1"), &l1_);
+    level(g.group("l2"), &l2_);
+}
+
 MemoryHierarchy::Access
 MemoryHierarchy::access(Addr addr, Cycle now)
 {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 #include "memory/cache.hh"
 
@@ -77,6 +78,12 @@ class MemoryHierarchy
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }
     const HierarchyParams &params() const { return params_; }
+
+    /**
+     * Register both levels' access statistics under @p g (as
+     * "<g>.l1.*" and "<g>.l2.*").
+     */
+    void registerStats(StatsGroup g);
 
     /** Total latency of an L1 hit. */
     Cycle l1Latency() const { return params_.l1.latency; }

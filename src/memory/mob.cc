@@ -18,6 +18,7 @@ Mob::insert(SeqNum sta_seq, Addr addr, std::uint8_t size, Addr pc,
     rec.size = size;
     rec.barrier = barrier;
     stores_.push_back(rec);
+    ++inserted_;
 }
 
 void
@@ -25,7 +26,21 @@ Mob::markViolation(SeqNum sta_seq)
 {
     StoreRec *r = find(sta_seq);
     assert(r != nullptr);
+    if (!r->causedViolation)
+        ++violations_;
     r->causedViolation = true;
+}
+
+void
+Mob::registerStats(StatsGroup g)
+{
+    g.bindCounter("inserted", &inserted_,
+                  "stores inserted into the window");
+    g.bindCounter("violations", &violations_,
+                  "stores that caused a wrong load ordering");
+    g.derived("occupancy",
+              [this] { return static_cast<double>(stores_.size()); },
+              "stores currently in the window");
 }
 
 bool

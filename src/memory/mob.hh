@@ -28,6 +28,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -89,6 +90,14 @@ class Mob
     /** Number of stores currently in the window. */
     std::size_t size() const { return stores_.size(); }
 
+    /** Stores ever inserted (lifetime of this MOB). */
+    std::uint64_t inserted() const { return inserted_; }
+    /** Stores marked as having caused a wrong load ordering. */
+    std::uint64_t violationsMarked() const { return violations_; }
+
+    /** Register this MOB's stats under @p g (e.g. "mem.mob"). */
+    void registerStats(StatsGroup g);
+
     /**
      * True iff some store older than @p load_seq has an unknown
      * address at @p now.
@@ -147,6 +156,9 @@ class Mob
   private:
     /** Stores in program order (oldest first). */
     std::deque<StoreRec> stores_;
+
+    std::uint64_t inserted_ = 0;
+    std::uint64_t violations_ = 0;
 
     StoreRec *find(SeqNum sta_seq);
 };

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "common/stats_registry.hh"
 #include "predictors/addr_pred.hh"
 #include "predictors/chooser.hh"
 
@@ -65,6 +66,22 @@ class BankPredictor
 
     virtual std::size_t storageBits() const = 0;
     virtual std::string name() const = 0;
+
+    /**
+     * Register predictor-level stats under @p g (e.g. "pred.bank").
+     * The base registers the hardware budget; subclasses may extend.
+     * Outcome counts (mispredicts, replications) are scored by the
+     * core, which registers them alongside.
+     */
+    virtual void
+    registerStats(StatsGroup g)
+    {
+        g.derived("storage_bits",
+                  [this] {
+                      return static_cast<double>(storageBits());
+                  },
+                  "hardware budget of this predictor");
+    }
 };
 
 /**

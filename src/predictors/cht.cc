@@ -309,4 +309,13 @@ Cht::name() const
     return n;
 }
 
+void
+Cht::registerStats(StatsGroup g)
+{
+    g.bindCounter("updates", &updates_, "training updates applied");
+    g.derived("storage_bits",
+              [this] { return static_cast<double>(storageBits()); },
+              "hardware budget of this organisation");
+}
+
 } // namespace lrs

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -122,6 +123,12 @@ class Cht
     const ChtParams &params() const { return params_; }
 
     std::string name() const;
+
+    /** Training updates applied so far. */
+    std::uint64_t updates() const { return updates_; }
+
+    /** Register this table's stats under @p g (e.g. "pred.cht"). */
+    void registerStats(StatsGroup g);
 
   private:
     struct Entry

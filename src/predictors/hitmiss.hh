@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "common/stats_registry.hh"
 #include "predictors/addr_pred.hh"
 #include "predictors/binary.hh"
 
@@ -71,6 +72,22 @@ class HitMissPredictor
 
     virtual std::size_t storageBits() const = 0;
     virtual std::string name() const = 0;
+
+    /**
+     * Register predictor-level stats under @p g (e.g. "pred.hmp").
+     * The base registers the hardware budget; subclasses may extend.
+     * Outcome counts (AH-PH etc.) are scored by the core, which
+     * registers them alongside.
+     */
+    virtual void
+    registerStats(StatsGroup g)
+    {
+        g.derived("storage_bits",
+                  [this] {
+                      return static_cast<double>(storageBits());
+                  },
+                  "hardware budget of this predictor");
+    }
 };
 
 /** The baseline: every load is predicted to hit. */

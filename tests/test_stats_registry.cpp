@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the stats registry and the JSON layer underneath it:
+ * registration styles (owned/bound/derived), uniform reset,
+ * duplicate-name rejection, nested JSON export, and round-tripping
+ * SimResult (including interval series) through the JSON parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.hh"
+#include "common/stats_registry.hh"
+#include "core/runner.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(JsonValue, ScalarDumpAndParse)
+{
+    json::Value obj = json::Value::object();
+    obj.set("a", json::Value(true));
+    obj.set("b", json::Value(3.5));
+    obj.set("c", json::Value(std::uint64_t{12345678901234ULL}));
+    obj.set("d", json::Value("he\"llo\n"));
+    obj.set("e", json::Value(nullptr));
+
+    const json::Value back = json::Value::parse(obj.dump());
+    EXPECT_TRUE(back.at("a").asBool());
+    EXPECT_DOUBLE_EQ(back.at("b").asDouble(), 3.5);
+    EXPECT_DOUBLE_EQ(back.at("c").asDouble(), 12345678901234.0);
+    EXPECT_EQ(back.at("d").asString(), "he\"llo\n");
+    EXPECT_TRUE(back.at("e").isNull());
+}
+
+TEST(JsonValue, NanAndInfSerializeAsNull)
+{
+    json::Value arr = json::Value::array();
+    arr.push(json::Value(std::nan("")));
+    arr.push(json::Value(HUGE_VAL));
+    const json::Value back = json::Value::parse(arr.dump());
+    EXPECT_TRUE(back.at(0).isNull());
+    EXPECT_TRUE(back.at(1).isNull());
+}
+
+TEST(JsonValue, ParseErrorsReportOffset)
+{
+    EXPECT_THROW(json::Value::parse("{\"a\":}"), json::ParseError);
+    EXPECT_THROW(json::Value::parse("[1,2"), json::ParseError);
+    EXPECT_THROW(json::Value::parse("tru"), json::ParseError);
+    EXPECT_THROW(json::Value::parse("{} x"), json::ParseError);
+}
+
+TEST(StatsRegistry, OwnedCounterRegisterAndReset)
+{
+    StatsRegistry reg;
+    Counter &c = reg.counter("core.uops", "retired uops");
+    c += 41;
+    ++c;
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_DOUBLE_EQ(reg.value("core.uops"), 42.0);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsRegistry, BoundCounterTracksExternalSlot)
+{
+    StatsRegistry reg;
+    std::uint64_t slot = 0;
+    reg.bindCounter("mem.hits", &slot);
+    slot = 7;
+    EXPECT_DOUBLE_EQ(reg.value("mem.hits"), 7.0);
+    reg.reset();
+    EXPECT_EQ(slot, 0u); // reset reaches through the binding
+    EXPECT_THROW(reg.bindCounter("mem.null", nullptr),
+                 std::logic_error);
+}
+
+TEST(StatsRegistry, DerivedEvaluatedAtExport)
+{
+    StatsRegistry reg;
+    double x = 1.0;
+    reg.derived("rate", [&] { return x; });
+    EXPECT_DOUBLE_EQ(reg.value("rate"), 1.0);
+    x = 2.5;
+    EXPECT_DOUBLE_EQ(reg.value("rate"), 2.5);
+    reg.reset(); // derived stats are views; reset must not touch them
+    EXPECT_DOUBLE_EQ(reg.value("rate"), 2.5);
+}
+
+TEST(StatsRegistry, DuplicateNameThrows)
+{
+    StatsRegistry reg;
+    reg.counter("a.b");
+    EXPECT_THROW(reg.counter("a.b"), std::logic_error);
+    std::uint64_t slot = 0;
+    EXPECT_THROW(reg.bindCounter("a.b", &slot), std::logic_error);
+    EXPECT_THROW(reg.counter(""), std::logic_error);
+}
+
+TEST(StatsRegistry, GroupPrefixesAndNests)
+{
+    StatsRegistry reg;
+    StatsGroup mem = reg.group("mem");
+    StatsGroup l1 = mem.group("l1");
+    l1.counter("hits");
+    mem.counter("misses");
+    EXPECT_TRUE(reg.has("mem.l1.hits"));
+    EXPECT_TRUE(reg.has("mem.misses"));
+    EXPECT_FALSE(reg.has("l1.hits"));
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "mem.l1.hits"); // registration order
+}
+
+TEST(StatsRegistry, JsonExportNestsDottedNames)
+{
+    StatsRegistry reg;
+    reg.counter("mem.l1.hits") += 3;
+    reg.counter("mem.l1.misses") += 1;
+    reg.counter("core.cycles") += 10;
+    Distribution &d = reg.distribution("core.occupancy");
+    d.sample(2.0);
+    d.sample(4.0);
+    Histogram &h = reg.histogram("mob.distance", 4, 1.0);
+    h.sample(0.5);
+    h.sample(99.0); // overflow
+
+    const json::Value back = json::Value::parse(reg.toJson().dump(2));
+    EXPECT_DOUBLE_EQ(
+        back.at("mem").at("l1").at("hits").asDouble(), 3.0);
+    EXPECT_DOUBLE_EQ(
+        back.at("mem").at("l1").at("misses").asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(back.at("core").at("cycles").asDouble(), 10.0);
+    const json::Value &occ = back.at("core").at("occupancy");
+    EXPECT_DOUBLE_EQ(occ.at("count").asDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(occ.at("mean").asDouble(), 3.0);
+    const json::Value &dist = back.at("mob").at("distance");
+    EXPECT_DOUBLE_EQ(dist.at("overflow").asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.at("total").asDouble(), 2.0);
+    EXPECT_EQ(dist.at("counts").size(), 4u);
+}
+
+TEST(SimResult, IpcIsNanBeforeAnyRun)
+{
+    SimResult r;
+    EXPECT_TRUE(std::isnan(r.ipc()));
+    SimResult other;
+    other.cycles = 100;
+    other.uops = 50;
+    EXPECT_TRUE(std::isnan(other.speedupOver(r)));
+    EXPECT_TRUE(std::isnan(r.speedupOver(other)));
+}
+
+/** Every SimResult counter must survive the JSON round trip, and a
+ *  statsInterval'd run must produce at least four interval series. */
+TEST(SimResult, JsonRoundTripWithIntervals)
+{
+    MachineConfig cfg;
+    cfg.statsInterval = 1000;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 20000));
+    OooCore core(cfg);
+    const SimResult r = core.run(*trace);
+    ASSERT_GT(r.cycles, 0u);
+    ASSERT_FALSE(r.intervals.empty());
+
+    const json::Value doc = json::Value::parse(r.toJson().dump(2));
+    EXPECT_EQ(doc.at("trace").asString(), r.trace);
+    const auto num = [&](const char *k) {
+        return static_cast<std::uint64_t>(doc.at(k).asDouble());
+    };
+    EXPECT_EQ(num("cycles"), r.cycles);
+    EXPECT_EQ(num("uops"), r.uops);
+    EXPECT_EQ(num("loads"), r.loads);
+    EXPECT_EQ(num("stores"), r.stores);
+    EXPECT_EQ(num("branches"), r.branches);
+    EXPECT_EQ(num("branch_mispredicts"), r.branchMispredicts);
+    EXPECT_EQ(num("not_conflicting"), r.notConflicting);
+    EXPECT_EQ(num("anc_pnc"), r.ancPnc);
+    EXPECT_EQ(num("anc_pc"), r.ancPc);
+    EXPECT_EQ(num("ac_pc"), r.acPc);
+    EXPECT_EQ(num("ac_pnc"), r.acPnc);
+    EXPECT_EQ(num("collision_penalties"), r.collisionPenalties);
+    EXPECT_EQ(num("order_violations"), r.orderViolations);
+    EXPECT_EQ(num("forwarded"), r.forwarded);
+    EXPECT_EQ(num("l1_misses"), r.l1Misses);
+    EXPECT_EQ(num("wasted_issues"), r.wastedIssues);
+    EXPECT_EQ(num("replayed_uops"), r.replayedUops);
+    EXPECT_DOUBLE_EQ(doc.at("derived").at("ipc").asDouble(), r.ipc());
+
+    const json::Value &iv = doc.at("intervals");
+    EXPECT_DOUBLE_EQ(iv.at("interval_cycles").asDouble(), 1000.0);
+    // The acceptance bar: at least four parallel series, all the same
+    // length as the sample vector.
+    const char *series[] = {"cycle", "ipc", "replay_rate",
+                            "sched_occupancy", "rob_occupancy"};
+    for (const char *name : series) {
+        ASSERT_TRUE(iv.has(name)) << name;
+        EXPECT_EQ(iv.at(name).size(), r.intervals.size()) << name;
+    }
+    EXPECT_DOUBLE_EQ(iv.at("ipc").at(0).asDouble(),
+                     r.intervals[0].ipc);
+}
+
+/** The registry the core builds exposes every major component group. */
+TEST(CoreRegistry, ComponentGroupsPresent)
+{
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 5000));
+    OooCore core(cfg);
+    const SimResult r = core.run(*trace);
+
+    const StatsRegistry &reg = core.stats();
+    EXPECT_TRUE(reg.has("core.cycles"));
+    EXPECT_TRUE(reg.has("core.uops"));
+    EXPECT_TRUE(reg.has("sched.forwarded"));
+    EXPECT_TRUE(reg.has("sched.class.not_conflicting"));
+    EXPECT_TRUE(reg.has("mem.l1.hits"));
+    EXPECT_TRUE(reg.has("mem.mob.inserted"));
+    EXPECT_TRUE(reg.has("pred.hmp.ah_ph"));
+    EXPECT_DOUBLE_EQ(reg.value("core.cycles"),
+                     static_cast<double>(r.cycles));
+    EXPECT_DOUBLE_EQ(reg.value("core.uops"),
+                     static_cast<double>(r.uops));
+}
+
+} // namespace
+} // namespace lrs

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the pipeline event tracer: ring-buffer semantics
+ * (ordering, wraparound), Chrome trace_event output validity, the
+ * event mix a real core run produces, and the no-tracer-attached
+ * default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/json.hh"
+#include "core/runner.hh"
+#include "core/tracer.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(Tracer, EventsKeptInOrder)
+{
+    PipelineTracer tr(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        tr.record(TraceEvent::Issue, /*cycle=*/10 + i, /*seq=*/i,
+                  /*pc=*/0x1000 + 4 * i, UopClass::IntAlu);
+    EXPECT_EQ(tr.size(), 5u);
+    EXPECT_EQ(tr.totalRecorded(), 5u);
+    EXPECT_FALSE(tr.wrapped());
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+        EXPECT_EQ(tr.at(i).cycle, 10 + i);
+        EXPECT_EQ(tr.at(i).seq, i);
+    }
+}
+
+TEST(Tracer, WraparoundKeepsNewestEvents)
+{
+    PipelineTracer tr(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        tr.record(TraceEvent::Retire, i, i, 0, UopClass::Load);
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.totalRecorded(), 10u);
+    EXPECT_TRUE(tr.wrapped());
+    // Oldest-first readout of the surviving tail: seqs 6..9.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(tr.at(i).seq, 6 + i);
+    EXPECT_THROW(tr.at(4), std::out_of_range);
+}
+
+TEST(Tracer, ClearEmptiesBuffer)
+{
+    PipelineTracer tr(4);
+    tr.record(TraceEvent::Rename, 1, 1, 0, UopClass::IntAlu);
+    tr.clear();
+    EXPECT_EQ(tr.size(), 0u);
+    EXPECT_EQ(tr.totalRecorded(), 0u);
+    EXPECT_FALSE(tr.wrapped());
+}
+
+TEST(Tracer, ChromeTraceIsValidJson)
+{
+    PipelineTracer tr(16);
+    tr.record(TraceEvent::Rename, 5, 1, 0x400, UopClass::Load);
+    tr.record(TraceEvent::Issue, 7, 1, 0x400, UopClass::Load);
+    tr.record(TraceEvent::Retire, 12, 1, 0x400, UopClass::Load);
+
+    const json::Value doc = json::Value::parse(tr.toChromeTrace());
+    const json::Value &evs = doc.at("traceEvents");
+    ASSERT_TRUE(evs.isArray());
+    // 6 metadata records naming the tracks + 3 instant events.
+    ASSERT_EQ(evs.size(), kNumTraceEvents + 3);
+
+    std::size_t meta = 0, instant = 0;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const json::Value &e = evs.at(i);
+        const std::string ph = e.at("ph").asString();
+        if (ph == "M") {
+            ++meta;
+            EXPECT_EQ(e.at("name").asString(), "thread_name");
+        } else {
+            ASSERT_EQ(ph, "i");
+            ++instant;
+            EXPECT_TRUE(e.has("ts"));
+            EXPECT_TRUE(e.at("args").has("seq"));
+        }
+    }
+    EXPECT_EQ(meta, kNumTraceEvents);
+    EXPECT_EQ(instant, 3u);
+    const json::Value &e0 = evs.at(kNumTraceEvents);
+    EXPECT_EQ(e0.at("name").asString(), "rename");
+    EXPECT_DOUBLE_EQ(e0.at("ts").asDouble(), 5.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("otherData").at("recorded").asDouble(), 3.0);
+}
+
+/** A real run with a tracer attached records a broad event mix —
+ *  the acceptance bar asks for at least 5 distinct phases. */
+TEST(Tracer, CoreRunRecordsAllLifecycleKinds)
+{
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 30000));
+    OooCore core(cfg);
+    PipelineTracer tr;
+    core.attachTracer(&tr);
+    const SimResult r = core.run(*trace);
+
+    EXPECT_GE(tr.totalRecorded(),
+              2 * r.uops); // at least rename+retire per uop
+    std::set<TraceEvent> kinds;
+    for (std::size_t i = 0; i < tr.size(); ++i)
+        kinds.insert(tr.at(i).ev);
+    EXPECT_GE(kinds.size(), 5u);
+    EXPECT_TRUE(kinds.count(TraceEvent::Rename));
+    EXPECT_TRUE(kinds.count(TraceEvent::Issue));
+    EXPECT_TRUE(kinds.count(TraceEvent::Retire));
+
+    // Detach: a second run must record nothing new.
+    core.attachTracer(nullptr);
+    tr.clear();
+    core.run(*trace);
+    EXPECT_EQ(tr.totalRecorded(), 0u);
+}
+
+TEST(Tracer, ResultsIdenticalWithAndWithoutTracer)
+{
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("gcc", 20000));
+    const SimResult plain = OooCore(cfg).run(*trace);
+
+    OooCore core(cfg);
+    PipelineTracer tr(1024); // small ring, guaranteed to wrap
+    core.attachTracer(&tr);
+    const SimResult traced = core.run(*trace);
+
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.uops, traced.uops);
+    EXPECT_EQ(plain.wastedIssues, traced.wastedIssues);
+    EXPECT_TRUE(tr.wrapped());
+    EXPECT_EQ(tr.size(), tr.capacity());
+}
+
+} // namespace
+} // namespace lrs

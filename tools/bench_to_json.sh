@@ -1,0 +1,74 @@
+#!/bin/sh
+# Run the figure benches and aggregate their per-bench JSON reports
+# into one trajectory file.
+#
+# Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_FILE]
+#
+#   BUILD_DIR  where the bench binaries live (default: build/bench)
+#   OUT_FILE   aggregate output (default: BENCH_1.json)
+#
+# Environment:
+#   LRS_TRACE_LEN  uops per trace passed through to the benches
+#                  (default here: 40000, kept small so the sweep
+#                  finishes in seconds; raise for fidelity)
+#
+# Each bench writes {"bench":..., "trace_len":..., "rows":[...]} to
+# $LRS_BENCH_JSON (see bench/bench_util.hh). This script points that
+# at a scratch file per bench and then splices the documents into
+#
+#   {"generated_by": "...", "trace_len": N, "benches": [...]}
+
+set -eu
+
+BUILD_DIR=${1:-build/bench}
+OUT=${2:-BENCH_1.json}
+: "${LRS_TRACE_LEN:=40000}"
+export LRS_TRACE_LEN
+
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "error: bench build dir '$BUILD_DIR' not found" >&2
+    echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+TMPDIR_JSON=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_JSON"' EXIT
+
+BENCHES="fig04_pipeline_compare fig05_load_classification \
+fig06_window_sweep fig07_ordering_speedup fig08_machine_config \
+fig09_cht_configs fig10_hmp_stats fig11_hmp_speedup fig12_bank_metric"
+
+ran=0
+for b in $BENCHES; do
+    exe="$BUILD_DIR/$b"
+    if [ ! -x "$exe" ]; then
+        echo "skip: $b (no binary at $exe)" >&2
+        continue
+    fi
+    echo "running $b (LRS_TRACE_LEN=$LRS_TRACE_LEN)..." >&2
+    LRS_BENCH_JSON="$TMPDIR_JSON/$b.json" "$exe" > /dev/null
+    ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+    echo "error: no bench binaries found under $BUILD_DIR" >&2
+    exit 1
+fi
+
+{
+    printf '{\n'
+    printf '  "generated_by": "tools/bench_to_json.sh",\n'
+    printf '  "trace_len": %s,\n' "$LRS_TRACE_LEN"
+    printf '  "benches": [\n'
+    first=1
+    for b in $BENCHES; do
+        f="$TMPDIR_JSON/$b.json"
+        [ -f "$f" ] || continue
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        cat "$f"
+    done
+    printf '\n  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT ($ran benches)" >&2

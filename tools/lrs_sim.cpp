@@ -16,13 +16,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "core/config_io.hh"
 #include "core/runner.hh"
+#include "core/tracer.hh"
 #include "trace/serialize.hh"
 
 using namespace lrs;
@@ -57,7 +60,18 @@ usage(const char *argv0)
         "and exit\n"
         "  --compare-schemes     run all ordering schemes and report "
         "speedups\n"
-        "  --dump-trace PATH     write the generated trace and exit\n",
+        "  --dump-trace PATH     write the generated trace and exit\n"
+        "  --json PATH           write the result (all counters, "
+        "interval series,\n"
+        "                        stats registry) as JSON\n"
+        "  --stats-interval N    snapshot interval metrics every N "
+        "cycles\n"
+        "  --trace-events PATH   record per-uop pipeline events and "
+        "write a Chrome\n"
+        "                        trace_event file (chrome://tracing / "
+        "Perfetto)\n"
+        "  --trace-buf N         event ring-buffer capacity "
+        "(default 262144)\n",
         argv0);
     std::exit(2);
 }
@@ -122,12 +136,31 @@ printResult(const SimResult &r)
 
 } // namespace
 
+namespace
+{
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open " + path);
+    os << text;
+    if (!os)
+        throw std::runtime_error("write failed: " + path);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     std::string trace_name = "wd";
     std::string trace_file;
     std::string dump_path;
+    std::string json_path;
+    std::string trace_events_path;
+    std::uint64_t trace_buf = PipelineTracer::kDefaultCapacity;
     std::uint64_t len = 200000;
     bool compare = false;
 
@@ -167,6 +200,13 @@ main(int argc, char **argv)
             }
             else if (a == "--compare-schemes") compare = true;
             else if (a == "--dump-trace") dump_path = next();
+            else if (a == "--json") json_path = next();
+            else if (a == "--stats-interval")
+                cfg.statsInterval = std::stoull(next());
+            else if (a == "--trace-events")
+                trace_events_path = next();
+            else if (a == "--trace-buf")
+                trace_buf = std::stoull(next());
             else if (a == "--help" || a == "-h") usage(argv[0]);
             else {
                 std::fprintf(stderr, "unknown option: %s\n", a.c_str());
@@ -201,10 +241,32 @@ main(int argc, char **argv)
                 t.cell(results[i].speedupOver(base), 3);
             }
             t.print(std::cout);
+            if (!json_path.empty()) {
+                json::Value doc = json::Value::object();
+                json::Value schemes = json::Value::array();
+                for (const auto &r : results)
+                    schemes.push(r.toJson());
+                doc.set("schemes", std::move(schemes));
+                writeTextFile(json_path, doc.dump(2));
+            }
             return 0;
         }
 
-        printResult(runSim(*trace, cfg));
+        OooCore core(cfg);
+        std::unique_ptr<PipelineTracer> tracer;
+        if (!trace_events_path.empty()) {
+            tracer = std::make_unique<PipelineTracer>(trace_buf);
+            core.attachTracer(tracer.get());
+        }
+        const SimResult r = core.run(*trace);
+        printResult(r);
+        if (!json_path.empty()) {
+            json::Value doc = r.toJson();
+            doc.set("registry", core.stats().toJson());
+            writeTextFile(json_path, doc.dump(2));
+        }
+        if (tracer)
+            tracer->writeChromeTrace(trace_events_path);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
