@@ -1,0 +1,108 @@
+#include "common/fault_injector.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace lrs
+{
+
+namespace
+{
+
+double
+envRate(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double d = std::strtod(v, &end);
+    if (end == v || *end != '\0' || d < 0.0 || d > 1.0)
+        return fallback;
+    return d;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t n = std::strtoull(v, &end, 0);
+    if (end == v || *end != '\0')
+        return fallback;
+    return n;
+}
+
+} // namespace
+
+FaultConfig
+FaultConfig::fromEnv()
+{
+    FaultConfig cfg;
+    cfg.seed = envU64("LRS_FAULT_SEED", cfg.seed);
+    cfg.traceRate = envRate("LRS_FAULT_TRACE_RATE", cfg.traceRate);
+    cfg.bitRate = envRate("LRS_FAULT_BIT_RATE", cfg.bitRate);
+    cfg.latRate = envRate("LRS_FAULT_LAT_RATE", cfg.latRate);
+    cfg.maxLatencyDelta =
+        envU64("LRS_FAULT_LAT_MAX", cfg.maxLatencyDelta);
+    if (cfg.maxLatencyDelta == 0)
+        cfg.maxLatencyDelta = 1;
+    return cfg;
+}
+
+bool
+FaultInjector::corruptRecord(std::uint8_t *record, std::size_t size)
+{
+    if (size == 0 || cfg_.traceRate <= 0.0 ||
+        !rng_.chance(cfg_.traceRate)) {
+        return false;
+    }
+    // 1..3 byte sites, random values. A same-value rewrite is
+    // possible and fine: the *rate* stats count corruption attempts,
+    // the reader's stats count what it actually had to skip.
+    const std::size_t sites =
+        1 + static_cast<std::size_t>(rng_.below(3));
+    for (std::size_t i = 0; i < sites; ++i) {
+        record[rng_.below(size)] =
+            static_cast<std::uint8_t>(rng_.next());
+    }
+    ++traceFaults_;
+    return true;
+}
+
+std::size_t
+FaultInjector::corruptBuffer(std::uint8_t *data, std::size_t size,
+                             std::size_t protect_prefix,
+                             std::size_t record_bytes)
+{
+    if (record_bytes == 0 || size <= protect_prefix)
+        return 0;
+    std::size_t corrupted = 0;
+    for (std::size_t off = protect_prefix;
+         off + record_bytes <= size; off += record_bytes) {
+        if (corruptRecord(data + off, record_bytes))
+            ++corrupted;
+    }
+    return corrupted;
+}
+
+void
+FaultInjector::registerStats(StatsGroup g)
+{
+    g.bindCounter("trace_records_corrupted", &traceFaults_,
+                  "trace records corrupted by the injector");
+    g.bindCounter("predictor_bit_flips", &bitFlips_,
+                  "predictor table bits flipped by the injector");
+    g.bindCounter("latency_perturbs", &latencyPerturbs_,
+                  "memory accesses with injected extra latency");
+    g.derived("trace_rate", [this] { return cfg_.traceRate; },
+              "configured per-record trace corruption probability");
+    g.derived("bit_rate", [this] { return cfg_.bitRate; },
+              "configured per-query bit-flip probability");
+    g.derived("lat_rate", [this] { return cfg_.latRate; },
+              "configured per-access latency perturbation probability");
+}
+
+} // namespace lrs

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <initializer_list>
 
 namespace lrs
 {

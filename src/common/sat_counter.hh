@@ -9,6 +9,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
+
+#include "common/diag.hh"
 
 namespace lrs
 {
@@ -25,10 +28,20 @@ class SatCounter
 {
   public:
     explicit SatCounter(unsigned num_bits = 2, std::uint8_t initial = 0)
-        : bits_(num_bits), val_(initial)
+        : bits_(static_cast<std::uint8_t>(num_bits)), val_(initial)
     {
-        assert(num_bits >= 1 && num_bits <= 7);
-        assert(initial <= maxVal());
+        if (num_bits < 1 || num_bits > 7) {
+            throwConfig("sat_counter", "num_bits",
+                        "counter width must be 1..7 bits (got " +
+                            std::to_string(num_bits) + ")");
+        }
+        if (initial > maxVal()) {
+            throwConfig("sat_counter", "initial",
+                        "initial value " + std::to_string(initial) +
+                            " exceeds the " +
+                            std::to_string(num_bits) +
+                            "-bit maximum " + std::to_string(maxVal()));
+        }
     }
 
     /** Largest representable value. */

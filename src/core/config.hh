@@ -14,7 +14,9 @@
 #define LRS_CORE_CONFIG_HH
 
 #include <string>
+#include <vector>
 
+#include "common/diag.hh"
 #include "common/types.hh"
 #include "memory/hierarchy.hh"
 #include "predictors/cht.hh"
@@ -185,6 +187,16 @@ struct MachineConfig
      */
     std::uint64_t statsInterval = 0;
 
+    // Robustness.
+    /**
+     * Walk the ROB / scheduling window / MOB every this many cycles
+     * checking structural invariants (see core/auditor.hh). 0
+     * disables auditing (the default: audits cost a full window walk
+     * each time). A violation raises AuditError — corrupted state
+     * must never silently turn into plausible-but-wrong results.
+     */
+    std::uint64_t auditInterval = 0;
+
     /** Convenience: does the scheme use a CHT at all? */
     bool
     usesCht() const
@@ -193,6 +205,18 @@ struct MachineConfig
                scheme == OrderingScheme::Inclusive ||
                scheme == OrderingScheme::Exclusive;
     }
+
+    /**
+     * Check every parameter of the machine (core widths and sizing,
+     * execution units, bank configuration, the memory hierarchy
+     * geometry, and whichever predictors the selected scheme
+     * instantiates). Returns ALL violations at once so a user fixes
+     * a config file in one pass; empty = valid.
+     */
+    std::vector<Diag> validate() const;
+
+    /** Throw ConfigError carrying every violation, if any. */
+    void validateOrThrow() const;
 };
 
 } // namespace lrs

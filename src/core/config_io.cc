@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/diag.hh"
 #include "common/stats.hh"
 
 namespace lrs
@@ -193,6 +194,10 @@ machineConfigFromIni(std::istream &is, MachineConfig base)
          [](MachineConfig &c, const std::string &v) {
              c.statsInterval = parseU64(v);
          }},
+        {"audit_interval",
+         [](MachineConfig &c, const std::string &v) {
+             c.auditInterval = parseU64(v);
+         }},
         {"exclusive_spec_forward",
          [](MachineConfig &c, const std::string &v) {
              c.exclusiveSpecForward = parseBool(v);
@@ -263,20 +268,33 @@ machineConfigFromIni(std::istream &is, MachineConfig base)
             continue;
         const auto eq = line.find('=');
         if (eq == std::string::npos) {
-            throw std::invalid_argument(
-                strprintf("config line %d: expected key = value",
-                          lineno));
+            throw ConfigError(makeDiag(
+                DiagCode::ConfigSyntax, "config_io",
+                strprintf("line %d", lineno),
+                "expected 'key = value', got '" + line + "'"));
         }
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         const auto it = setters.find(key);
         if (it == setters.end()) {
-            throw std::invalid_argument(
-                strprintf("config line %d: unknown key '%s'", lineno,
-                          key.c_str()));
+            throw ConfigError(makeDiag(
+                DiagCode::ConfigUnknownKey, "config_io", key,
+                strprintf("unknown key at line %d", lineno)));
         }
-        it->second(base, value);
+        try {
+            it->second(base, value);
+        } catch (const ConfigError &) {
+            throw;
+        } catch (const std::exception &e) {
+            throw ConfigError(makeDiag(
+                DiagCode::ConfigInvalid, "config_io", key,
+                strprintf("line %d: %s", lineno, e.what())));
+        }
     }
+    // One pass, all violations: a machine assembled from this file
+    // must be buildable, and the user should learn of every bad
+    // parameter now rather than one ConfigError per run.
+    base.validateOrThrow();
     return base;
 }
 
@@ -284,8 +302,13 @@ MachineConfig
 machineConfigFromFile(const std::string &path, MachineConfig base)
 {
     std::ifstream f(path);
-    if (!f)
-        throw std::invalid_argument("cannot open config: " + path);
+    if (!f) {
+        // ConfigError (not IoError): a missing config file is a
+        // usage/configuration problem and callers catch it as such.
+        throw ConfigError(makeDiag(DiagCode::IoOpenFailed, "config_io",
+                                   "path",
+                                   "cannot open config: " + path));
+    }
     return machineConfigFromIni(f, base);
 }
 
@@ -327,6 +350,7 @@ machineConfigToIni(const MachineConfig &cfg)
     os << "reschedule_penalty = " << cfg.reschedulePenalty << "\n";
     os << "ahpm_penalty = " << cfg.ahpmPenalty << "\n";
     os << "stats_interval = " << cfg.statsInterval << "\n";
+    os << "audit_interval = " << cfg.auditInterval << "\n";
     os << "exclusive_spec_forward = "
        << (cfg.exclusiveSpecForward ? "true" : "false") << "\n";
     os << "stride_prefetch = "

@@ -62,15 +62,29 @@ hmpKindName(HmpKind k)
     return "?";
 }
 
+namespace
+{
+
+/**
+ * Validation gate for the constructor below: cfg_ is the first member,
+ * so routing its initializer through here rejects a bad machine before
+ * any dependent member (caches, ROB, predictors) is sized from it.
+ */
+const MachineConfig &
+validated(const MachineConfig &cfg)
+{
+    cfg.validateOrThrow();
+    return cfg;
+}
+
+} // namespace
+
 OooCore::OooCore(const MachineConfig &cfg)
-    : cfg_(cfg), mem_(cfg.mem),
+    : cfg_(validated(cfg)), mem_(cfg.mem),
       branchPred_(cfg.branchHistBits, 2, /*initial=weakly taken*/ 2),
       rob_(cfg.robSize),
       renameTable_(kNumArchRegs, -1), renameSeq_(kNumArchRegs, 0)
 {
-    assert(cfg_.robSize > 0 && cfg_.schedWindow > 0);
-    assert(cfg_.schedWindow <= cfg_.robSize);
-
     if (cfg_.usesCht() || cfg_.chtShadow) {
         ChtParams cp = cfg_.cht;
         if (cfg_.scheme == OrderingScheme::Exclusive)
@@ -110,9 +124,6 @@ OooCore::OooCore(const MachineConfig &cfg)
       case BankPredKind::None:
         break;
     }
-    assert(cfg_.bankMode != BankMode::Sliced || bankPred_ != nullptr);
-    assert(cfg_.numBanks >= 1 && cfg_.numBanks <= 8 &&
-           isPowerOf2(cfg_.numBanks));
 
     switch (cfg_.bankMode) {
       case BankMode::Conventional:
@@ -206,6 +217,9 @@ OooCore::registerStats()
                      "low-confidence all-pipe replications");
     if (bankPred_)
         bankPred_->registerStats(bank);
+
+    statsReg_.bindCounter("audit.checks", &auditChecks_,
+                          "invariant audits performed");
 }
 
 SimResult
@@ -233,6 +247,7 @@ OooCore::run(TraceStream &trace)
     res_.statsInterval = cfg_.statsInterval;
     iv_ = IntervalCursor{};
     iv_.countdown = cfg_.statsInterval;
+    auditCountdown_ = cfg_.auditInterval;
 
     while (!traceDone_ || headSeq_ != nextSeq_) {
         resolvePendingCollisions();
@@ -248,6 +263,10 @@ OooCore::run(TraceStream &trace)
                 iv_.countdown = cfg_.statsInterval;
             }
         }
+        if (cfg_.auditInterval && --auditCountdown_ == 0) {
+            auditNow();
+            auditCountdown_ = cfg_.auditInterval;
+        }
         // A stuck machine is a simulator bug; fail loudly.
         assert(now_ < (trace.size() + 1000) * 64 &&
                "simulated core appears deadlocked");
@@ -255,7 +274,51 @@ OooCore::run(TraceStream &trace)
     res_.cycles = now_;
     if (cfg_.statsInterval && now_ > iv_.cycle)
         snapshotInterval(); // flush the final partial interval
+    if (cfg_.auditInterval)
+        auditNow(); // the drained machine must also be sound
     return res_;
+}
+
+AuditView
+OooCore::auditView() const
+{
+    AuditView v;
+    v.robSize = cfg_.robSize;
+    v.schedWindow = cfg_.schedWindow;
+    v.regPool = cfg_.regPool;
+    v.headSeq = headSeq_;
+    v.nextSeq = nextSeq_;
+    v.rsCount = rsCount_;
+    v.poolUsed = poolUsed_;
+    v.entries.reserve(nextSeq_ - headSeq_);
+    for (SeqNum s = headSeq_; s < nextSeq_; ++s) {
+        const RobEntry &re = rob_[slotOf(s)];
+        AuditView::Entry e;
+        e.seq = re.seq;
+        e.slot = slotOf(s);
+        e.waiting = re.state == State::Waiting;
+        e.src1Slot = re.src1Slot;
+        e.src2Slot = re.src2Slot;
+        e.src1Seq = re.src1Seq;
+        e.src2Seq = re.src2Seq;
+        e.isPairedStd = re.isPairedStd;
+        e.pairSeq = re.pairSeq;
+        v.entries.push_back(e);
+    }
+    v.mobStores.reserve(mob_.size());
+    for (const Mob::StoreRec &r : mob_.storeRecords())
+        v.mobStores.push_back(r.seq);
+    return v;
+}
+
+void
+OooCore::auditNow()
+{
+    ++auditChecks_;
+    if (auto diags = StateAuditor::check(auditView(), now_);
+        !diags.empty()) {
+        throw AuditError(std::move(diags));
+    }
 }
 
 void
@@ -673,6 +736,10 @@ OooCore::executeLoad(RobEntry &e)
         actual_miss = !acc.l1Hit;
         if (acc.dynamicMiss)
             ++res_.dynamicMisses;
+        // Injected timing fault: strictly additive, so readiness only
+        // moves later — the schedule degrades, it never goes acausal.
+        if (faults_)
+            data += faults_->perturbLatency();
     }
 
     if (prefetcher_) {
@@ -1062,6 +1129,11 @@ OooCore::renameStage(TraceStream &trace)
             if (storeSets_)
                 e.ssWaitSeq = storeSets_->loadRenamed(u->pc);
             if (cht_) {
+                // Injected state fault: the CHT is a hint structure,
+                // so a flipped bit may cost timing but never
+                // correctness — exactly what the injector verifies.
+                if (faults_ && faults_->fireBitFlip())
+                    cht_->corruptRandomBit(faults_->rng());
                 e.pathAtPredict = pathHist_;
                 const auto p = cht_->predict(u->pc, pathHist_);
                 e.predColliding = p.colliding;

@@ -25,7 +25,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault_injector.hh"
 #include "common/stats_registry.hh"
+#include "core/auditor.hh"
 #include "core/config.hh"
 #include "core/results.hh"
 #include "core/tracer.hh"
@@ -71,6 +73,21 @@ class OooCore
      */
     StatsRegistry &stats() { return statsReg_; }
     const StatsRegistry &stats() const { return statsReg_; }
+
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). While
+     * attached it flips CHT bits at prediction time and perturbs
+     * load latencies — see docs/ROBUSTNESS.md. With none attached
+     * each potential fault site costs a null-pointer test.
+     */
+    void attachFaultInjector(FaultInjector *fi) { faults_ = fi; }
+
+    /**
+     * Snapshot the in-flight state for the invariant auditor. Public
+     * so tests and tools can audit on demand; run() audits itself
+     * every cfg().auditInterval cycles.
+     */
+    AuditView auditView() const;
 
   private:
     /** Ground-truth collision classification of a load. */
@@ -158,6 +175,9 @@ class OooCore
 
     /** Close the current interval and append an IntervalSample. */
     void snapshotInterval();
+
+    /** Run the invariant auditor now; throws AuditError on damage. */
+    void auditNow();
 
     /** Record a per-uop lifecycle event if a tracer is attached. */
     void
@@ -261,6 +281,11 @@ class OooCore
     // --- observability state ---
     PipelineTracer *tracer_ = nullptr; ///< not owned; may be null
     StatsRegistry statsReg_;
+
+    // --- robustness state ---
+    FaultInjector *faults_ = nullptr; ///< not owned; may be null
+    std::uint64_t auditChecks_ = 0;   ///< audits performed ("audit.checks")
+    std::uint64_t auditCountdown_ = 0;
 
     /**
      * Interval-series bookkeeping: totals at the last snapshot (for

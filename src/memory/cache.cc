@@ -1,20 +1,56 @@
 #include "memory/cache.hh"
 
-#include <cassert>
-
 #include "common/bitutils.hh"
 
 namespace lrs
 {
 
+std::vector<Diag>
+CacheParams::validate(const std::string &component) const
+{
+    std::vector<Diag> diags;
+    const auto bad = [&](const std::string &param,
+                         const std::string &msg) {
+        diags.push_back(
+            makeDiag(DiagCode::ConfigInvalid, component, param, msg));
+    };
+    if (lineBytes == 0 || !isPowerOf2(lineBytes)) {
+        bad("line_bytes", "line size must be a nonzero power of two "
+                          "(got " +
+                              std::to_string(lineBytes) + ")");
+    }
+    if (assoc == 0)
+        bad("assoc", "associativity must be >= 1 (got 0)");
+    if (lineBytes != 0 && assoc != 0) {
+        if (sizeBytes < std::uint64_t{lineBytes} * assoc) {
+            bad("size_bytes",
+                "capacity " + std::to_string(sizeBytes) +
+                    " is smaller than one set (" +
+                    std::to_string(lineBytes) + "B lines x " +
+                    std::to_string(assoc) + " ways)");
+        } else if (!isPowerOf2(sizeBytes /
+                               (std::uint64_t{lineBytes} * assoc))) {
+            bad("size_bytes",
+                "capacity " + std::to_string(sizeBytes) +
+                    " does not yield a power-of-two set count with " +
+                    std::to_string(lineBytes) + "B lines, " +
+                    std::to_string(assoc) + " ways");
+        }
+    }
+    if (numBanks == 0 || !isPowerOf2(numBanks)) {
+        bad("num_banks", "bank count must be a nonzero power of two "
+                         "(got " +
+                             std::to_string(numBanks) + ")");
+    }
+    return diags;
+}
+
 Cache::Cache(const CacheParams &params)
     : params_(params)
 {
-    assert(params_.lineBytes > 0 && isPowerOf2(params_.lineBytes));
-    assert(params_.assoc > 0);
-    assert(params_.sizeBytes >= params_.lineBytes * params_.assoc);
+    if (auto diags = params_.validate(params_.name); !diags.empty())
+        throw ConfigError(std::move(diags));
     numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
-    assert(isPowerOf2(numSets_));
     lines_.resize(numSets_ * params_.assoc);
 }
 

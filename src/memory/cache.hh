@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/diag.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -33,6 +34,12 @@ struct CacheParams
     Cycle latency = 5;
     /** Number of independently addressed banks (1 = unbanked). */
     unsigned numBanks = 1;
+
+    /**
+     * Every violated geometry constraint, all at once (empty =
+     * valid). Diags are named under @p component (e.g. "mem.l1").
+     */
+    std::vector<Diag> validate(const std::string &component) const;
 };
 
 /**

@@ -153,6 +153,16 @@ class Mob
     /** The in-window store with STA sequence @p sta_seq, if any. */
     const StoreRec *get(SeqNum sta_seq) const;
 
+    /**
+     * Read-only view of every in-window store, program order (oldest
+     * first). Used by the invariant auditor to cross-check the MOB
+     * against the ROB.
+     */
+    const std::deque<StoreRec> &storeRecords() const
+    {
+        return stores_;
+    }
+
   private:
     /** Stores in program order (oldest first). */
     std::deque<StoreRec> stores_;

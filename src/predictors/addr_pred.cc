@@ -1,6 +1,6 @@
 #include "predictors/addr_pred.hh"
 
-#include <cassert>
+#include "common/diag.hh"
 
 namespace lrs
 {
@@ -13,8 +13,23 @@ LoadAddressPredictor::LoadAddressPredictor(std::size_t entries,
       confThreshold_(static_cast<std::uint8_t>(conf_threshold)),
       table_(entries)
 {
-    assert(isPowerOf2(entries));
-    assert(conf_threshold <= confMax_);
+    if (entries == 0 || !isPowerOf2(entries)) {
+        throwConfig("pred.addr", "entries",
+                    "table size must be a nonzero power of two (got " +
+                        std::to_string(entries) + ")");
+    }
+    if (conf_bits < 1 || conf_bits > 7) {
+        throwConfig("pred.addr", "conf_bits",
+                    "confidence width must be 1..7 bits (got " +
+                        std::to_string(conf_bits) + ")");
+    }
+    if (conf_threshold > confMax_) {
+        throwConfig("pred.addr", "conf_threshold",
+                    "threshold " + std::to_string(conf_threshold) +
+                        " exceeds the " + std::to_string(conf_bits) +
+                        "-bit confidence maximum " +
+                        std::to_string(confMax_));
+    }
 }
 
 LoadAddressPredictor::Prediction

@@ -1,8 +1,7 @@
 #include "predictors/bank_pred.hh"
 
-#include <cassert>
-
 #include "common/bitutils.hh"
+#include "common/diag.hh"
 #include "predictors/bimodal.hh"
 #include "predictors/gshare.hh"
 #include "predictors/gskew.hh"
@@ -74,7 +73,12 @@ PerBitBankPredictor::PerBitBankPredictor(
         &make_bit)
     : numBanks_(num_banks)
 {
-    assert(isPowerOf2(num_banks) && num_banks >= 2);
+    if (num_banks < 2 || !isPowerOf2(num_banks)) {
+        throwConfig("pred.bank", "num_banks",
+                    "per-bit bank predictor needs a power-of-two bank "
+                    "count >= 2 (got " +
+                        std::to_string(num_banks) + ")");
+    }
     const unsigned bits = floorLog2(num_banks);
     bits_.reserve(bits);
     for (unsigned b = 0; b < bits; ++b)

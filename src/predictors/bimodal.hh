@@ -29,7 +29,11 @@ class BimodalPredictor : public BinaryPredictor
         : indexBits_(floorLog2(entries)),
           table_(entries, SatCounter(counter_bits))
     {
-        assert(isPowerOf2(entries));
+        if (!isPowerOf2(entries)) {
+            throwConfig("pred.bimodal", "entries",
+                        "table size must be a power of two (got " +
+                            std::to_string(entries) + ")");
+        }
     }
 
     Prediction

@@ -1,9 +1,9 @@
 #include "predictors/cht.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/bitutils.hh"
+#include "common/random.hh"
 
 namespace lrs
 {
@@ -20,20 +20,72 @@ chtKindName(ChtKind k)
     return "?";
 }
 
+std::vector<Diag>
+ChtParams::validate(const std::string &component) const
+{
+    std::vector<Diag> diags;
+    const auto bad = [&](const std::string &param,
+                         const std::string &msg) {
+        diags.push_back(
+            makeDiag(DiagCode::ConfigInvalid, component, param, msg));
+    };
+
+    if (entries == 0 || !isPowerOf2(entries)) {
+        bad("entries", "table size must be a nonzero power of two "
+                       "(got " +
+                           std::to_string(entries) + ")");
+    }
+    if (counterBits < 1 || counterBits > 4) {
+        bad("counter_bits", "counter width must be 1..4 bits (got " +
+                                std::to_string(counterBits) + ")");
+    }
+    if (tagBits < 1 || tagBits > 32) {
+        bad("tag_bits", "partial tag width must be 1..32 bits (got " +
+                            std::to_string(tagBits) + ")");
+    }
+    if (pathBits > 32) {
+        bad("path_bits", "path-history slice must be <= 32 bits "
+                         "(got " +
+                             std::to_string(pathBits) + ")");
+    }
+
+    const bool has_tagged = kind != ChtKind::Tagless;
+    if (has_tagged) {
+        if (assoc == 0) {
+            bad("assoc", "associativity must be >= 1 (got 0)");
+        } else if (entries != 0 && isPowerOf2(entries)) {
+            if (entries % assoc != 0 ||
+                !isPowerOf2(entries / assoc)) {
+                bad("assoc",
+                    "associativity must divide the entry count into "
+                    "a power-of-two number of sets (got " +
+                        std::to_string(entries) + " entries / " +
+                        std::to_string(assoc) + "-way)");
+            }
+        }
+    }
+    if (kind == ChtKind::Combined &&
+        (taglessEntries == 0 || !isPowerOf2(taglessEntries))) {
+        bad("tagless_entries",
+            "combined tagless table size must be a nonzero power of "
+            "two (got " +
+                std::to_string(taglessEntries) + ")");
+    }
+    return diags;
+}
+
 Cht::Cht(const ChtParams &params)
     : params_(params)
 {
-    assert(isPowerOf2(params_.entries));
-    assert(params_.counterBits >= 1 && params_.counterBits <= 4);
+    if (auto diags = params_.validate(); !diags.empty())
+        throw ConfigError(std::move(diags));
 
     const bool has_tagged = params_.kind != ChtKind::Tagless;
     const bool has_tagless = params_.kind == ChtKind::Tagless ||
                              params_.kind == ChtKind::Combined;
 
     if (has_tagged) {
-        assert(params_.entries % params_.assoc == 0);
         const std::size_t sets = params_.entries / params_.assoc;
-        assert(isPowerOf2(sets));
         setBits_ = floorLog2(sets);
         tagged_.resize(params_.entries);
     }
@@ -41,7 +93,6 @@ Cht::Cht(const ChtParams &params)
         const std::size_t n = params_.kind == ChtKind::Tagless
                                   ? params_.entries
                                   : params_.taglessEntries;
-        assert(isPowerOf2(n));
         taglessBits_ = floorLog2(n);
         taglessCtr_.assign(n, 0);
         if (params_.trackDistance)
@@ -261,6 +312,44 @@ Cht::maybeCyclicClear()
     if (params_.clearInterval != 0 &&
         updates_ % params_.clearInterval == 0) {
         clear();
+    }
+}
+
+void
+Cht::corruptRandomBit(Rng &rng)
+{
+    // Pick uniformly over the table's state bits: tagged entries
+    // first (valid, tag, counter, distance), then tagless counters
+    // and distances.
+    if (!tagged_.empty() && (taglessCtr_.empty() || rng.chance(0.5))) {
+        Entry &e = tagged_[rng.below(tagged_.size())];
+        switch (rng.below(4)) {
+          case 0:
+            e.valid = !e.valid;
+            break;
+          case 1:
+            e.tag ^= 1u << rng.below(params_.tagBits);
+            break;
+          case 2:
+            e.counter ^= static_cast<std::uint8_t>(
+                1u << rng.below(params_.counterBits));
+            break;
+          default:
+            e.distance ^= static_cast<std::uint8_t>(
+                1u << rng.below(6));
+            break;
+        }
+        return;
+    }
+    if (!taglessCtr_.empty()) {
+        const std::size_t i = rng.below(taglessCtr_.size());
+        if (!taglessDist_.empty() && rng.chance(0.5)) {
+            taglessDist_[i] ^= static_cast<std::uint8_t>(
+                1u << rng.below(6));
+        } else {
+            taglessCtr_[i] ^= static_cast<std::uint8_t>(
+                1u << rng.below(params_.counterBits));
+        }
     }
 }
 

@@ -29,11 +29,14 @@
 #include <string>
 #include <vector>
 
+#include "common/diag.hh"
 #include "common/stats_registry.hh"
 #include "common/types.hh"
 
 namespace lrs
 {
+
+class Rng;
 
 /** The four CHT organisations of Figure 2 / section 4.1. */
 enum class ChtKind
@@ -79,6 +82,14 @@ struct ChtParams
      * so (conservative, maximises AC-PC); false = only when BOTH do.
      */
     bool combineConservative = true;
+
+    /**
+     * Every violated constraint of this parameter set, all at once
+     * (empty = valid). Diags are named under @p component
+     * ("pred.cht" by default).
+     */
+    std::vector<Diag> validate(
+        const std::string &component = "pred.cht") const;
 };
 
 /**
@@ -116,6 +127,15 @@ class Cht
 
     /** Drop all state (also used by the cyclic-clearing policy). */
     void clear();
+
+    /**
+     * Fault injection: flip one random state bit (a counter,
+     * distance, tag or valid bit chosen by @p rng). Collision
+     * predictions are speculation hints, so corrupted state may only
+     * change timing, never correctness — the fault-injection tests
+     * rely on this method to prove it.
+     */
+    void corruptRandomBit(Rng &rng);
 
     /** Hardware budget in bits. */
     std::size_t storageBits() const;

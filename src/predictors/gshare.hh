@@ -34,11 +34,11 @@ class GsharePredictor : public BinaryPredictor
     explicit GsharePredictor(unsigned history_bits = 11,
                              unsigned counter_bits = 2,
                              std::uint8_t initial = 0)
-        : histBits_(history_bits), initial_(initial),
+        : histBits_((checkGshareParams(history_bits), history_bits)),
+          initial_(initial),
           pht_(std::size_t{1} << history_bits,
                SatCounter(counter_bits, initial))
     {
-        assert(history_bits <= 24);
     }
 
     Prediction
@@ -72,6 +72,17 @@ class GsharePredictor : public BinaryPredictor
     std::string name() const override { return "gshare"; }
 
   private:
+    /** PHT size is 2^history_bits; cap it before the allocation. */
+    static void
+    checkGshareParams(unsigned history_bits)
+    {
+        if (history_bits < 1 || history_bits > 24) {
+            throwConfig("pred.gshare", "history_bits",
+                        "history length must be 1..24 (got " +
+                            std::to_string(history_bits) + ")");
+        }
+    }
+
     std::size_t
     index(Addr pc) const
     {

@@ -33,7 +33,11 @@ class GskewPredictor : public BinaryPredictor
                             unsigned counter_bits = 2)
         : idxBits_(floorLog2(table_entries)), histBits_(history_bits)
     {
-        assert(isPowerOf2(table_entries));
+        if (!isPowerOf2(table_entries)) {
+            throwConfig("pred.gskew", "table_entries",
+                        "bank size must be a power of two (got " +
+                            std::to_string(table_entries) + ")");
+        }
         for (auto &t : banks_)
             t.assign(table_entries, SatCounter(counter_bits));
     }

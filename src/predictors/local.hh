@@ -33,15 +33,14 @@ class LocalPredictor : public BinaryPredictor
                             unsigned history_bits = 8,
                             unsigned pht_pc_bits = 2,
                             unsigned counter_bits = 2)
-        : htBits_(floorLog2(entries)),
+        : htBits_((checkLocalParams(entries, history_bits, pht_pc_bits),
+                   floorLog2(entries))),
           histBits_(history_bits),
           phtPcBits_(pht_pc_bits),
           histories_(entries, 0),
           pht_(std::size_t{1} << (history_bits + pht_pc_bits),
                SatCounter(counter_bits))
     {
-        assert(isPowerOf2(entries));
-        assert(history_bits + pht_pc_bits <= 24);
     }
 
     Prediction
@@ -76,6 +75,25 @@ class LocalPredictor : public BinaryPredictor
     std::string name() const override { return "local"; }
 
   private:
+    /** The PHT is 2^(history+pc) entries; validate before allocating. */
+    static void
+    checkLocalParams(std::size_t entries, unsigned history_bits,
+                     unsigned pht_pc_bits)
+    {
+        if (!isPowerOf2(entries)) {
+            throwConfig("pred.local", "entries",
+                        "history-table size must be a power of two "
+                        "(got " +
+                            std::to_string(entries) + ")");
+        }
+        if (history_bits + pht_pc_bits > 24) {
+            throwConfig("pred.local", "history_bits",
+                        "history + PC index bits must be <= 24 (got " +
+                            std::to_string(history_bits) + " + " +
+                            std::to_string(pht_pc_bits) + ")");
+        }
+    }
+
     std::size_t
     htIndex(Addr pc) const
     {

@@ -1,9 +1,9 @@
 #include "predictors/store_sets.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/bitutils.hh"
+#include "common/diag.hh"
 
 namespace lrs
 {
@@ -13,8 +13,15 @@ StoreSets::StoreSets(std::size_t ssit_entries, std::size_t num_sets,
     : ssit_(ssit_entries, kNoSet), lfst_(num_sets),
       clearInterval_(clear_interval)
 {
-    assert(isPowerOf2(ssit_entries));
-    assert(num_sets > 0);
+    if (ssit_entries == 0 || !isPowerOf2(ssit_entries)) {
+        throwConfig("pred.store_sets", "ssit_entries",
+                    "SSIT size must be a nonzero power of two (got " +
+                        std::to_string(ssit_entries) + ")");
+    }
+    if (num_sets == 0) {
+        throwConfig("pred.store_sets", "num_sets",
+                    "LFST must have at least one set (got 0)");
+    }
 }
 
 std::size_t

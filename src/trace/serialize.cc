@@ -1,12 +1,15 @@
 #include "trace/serialize.hh"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+#include <vector>
+
+#include "common/diag.hh"
 
 namespace lrs
 {
@@ -27,15 +30,136 @@ put(std::ostream &os, T v)
     os.write(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
+[[noreturn]] void
+throwTrace(DiagCode code, const std::string &param,
+           const std::string &message)
+{
+    throw TraceError(
+        makeDiag(code, "trace.serialize", param, message));
+}
+
 template <typename T>
 T
 get(std::istream &is)
 {
     T v{};
     is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!is)
-        throw std::runtime_error("trace file truncated");
+    if (!is) {
+        throwTrace(DiagCode::TraceTruncated, "",
+                   "trace file truncated in the header");
+    }
     return v;
+}
+
+template <typename T>
+T
+load(const std::uint8_t *p)
+{
+    T v{};
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/**
+ * Decode one 22-byte record and judge its plausibility. The field
+ * bounds double as the resync heuristic: a random 22-byte window has
+ * roughly a 2^-13 chance of passing all of them, so the reader locks
+ * back onto real framing within a few records.
+ */
+bool
+parseRecord(const std::uint8_t *p, Uop &u)
+{
+    u.pc = load<std::uint64_t>(p);
+    const auto cls = p[8];
+    if (cls > static_cast<std::uint8_t>(UopClass::Branch))
+        return false;
+    u.cls = static_cast<UopClass>(cls);
+    u.src1 = static_cast<std::int8_t>(p[9]);
+    u.src2 = static_cast<std::int8_t>(p[10]);
+    u.dst = static_cast<std::int8_t>(p[11]);
+    if (u.src1 >= kNumArchRegs || u.src2 >= kNumArchRegs ||
+        u.dst >= kNumArchRegs || u.src1 < -1 || u.src2 < -1 ||
+        u.dst < -1) {
+        return false;
+    }
+    u.addr = load<std::uint64_t>(p + 12);
+    u.memSize = p[20];
+    if (u.memSize > 64)
+        return false;
+    const auto taken = p[21];
+    if (taken > 1)
+        return false;
+    u.taken = taken != 0;
+    return true;
+}
+
+/** Why a strict read rejects the record at @p p (for the message). */
+const char *
+describeBadRecord(const std::uint8_t *p)
+{
+    if (p[8] > static_cast<std::uint8_t>(UopClass::Branch))
+        return "malformed uop class";
+    const auto reg_ok = [](std::uint8_t b) {
+        const auto r = static_cast<std::int8_t>(b);
+        return r >= -1 && r < kNumArchRegs;
+    };
+    if (!reg_ok(p[9]) || !reg_ok(p[10]) || !reg_ok(p[11]))
+        return "malformed uop registers";
+    return "malformed uop record (memSize/taken out of range)";
+}
+
+} // namespace
+
+void
+TraceReadStats::registerStats(StatsGroup g)
+{
+    g.bindCounter("records_read", &recordsRead,
+                  "trace records accepted by the reader");
+    g.bindCounter("skipped_records", &skippedRecords,
+                  "malformed trace records dropped (recovery mode)");
+    g.bindCounter("resync_bytes", &resyncBytes,
+                  "bytes slid over re-locking record framing");
+    g.bindCounter("truncated_tail_bytes", &truncatedTailBytes,
+                  "partial-record bytes discarded at end of stream");
+    g.bindCounter("missing_records", &missingRecords,
+                  "records promised by the header but absent");
+    g.bindCounter("dropped_store_uops", &droppedStoreUops,
+                  "orphaned STA/STD halves dropped re-pairing stores");
+}
+
+namespace
+{
+
+/**
+ * Enforce the stream's structural invariant after recovery dropped
+ * records: every STA is immediately followed by its STD and every STD
+ * immediately follows its STA (the decomposition the generator emits
+ * and the core's positional pairing assumes). Orphaned halves would
+ * leave MOB stores that never complete — a guaranteed deadlock — so
+ * they are dropped and accounted.
+ */
+std::vector<Uop>
+repairStorePairs(std::vector<Uop> uops, TraceReadStats &st)
+{
+    std::vector<Uop> clean;
+    clean.reserve(uops.size());
+    for (std::size_t i = 0; i < uops.size(); ++i) {
+        const Uop &u = uops[i];
+        if (u.isSta()) {
+            if (i + 1 < uops.size() && uops[i + 1].isStd()) {
+                clean.push_back(u);
+                clean.push_back(uops[i + 1]);
+                ++i;
+            } else {
+                ++st.droppedStoreUops; // STD lost: drop the STA too
+            }
+        } else if (u.isStd()) {
+            ++st.droppedStoreUops; // STA lost: the STD pairs nothing
+        } else {
+            clean.push_back(u);
+        }
+    }
+    return clean;
 }
 
 } // namespace
@@ -59,69 +183,144 @@ writeTrace(std::ostream &os, const VecTrace &trace)
         put<std::uint8_t>(os, u.memSize);
         put<std::uint8_t>(os, u.taken ? 1 : 0);
     }
-    if (!os)
-        throw std::runtime_error("trace write failed");
+    if (!os) {
+        throw IoError(makeDiag(DiagCode::IoWriteFailed,
+                               "trace.serialize", "",
+                               "trace write failed"));
+    }
 }
 
 void
 writeTraceFile(const std::string &path, const VecTrace &trace)
 {
     std::ofstream f(path, std::ios::binary);
-    if (!f)
-        throw std::runtime_error("cannot open for write: " + path);
+    if (!f) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed,
+                               "trace.serialize", "path",
+                               "cannot open for write: " + path));
+    }
     writeTrace(f, trace);
 }
 
 std::unique_ptr<VecTrace>
-readTrace(std::istream &is)
+readTrace(std::istream &is, const TraceReadOptions &opts,
+          TraceReadStats *stats)
 {
+    TraceReadStats local;
+    TraceReadStats &st = stats ? *stats : local;
+
+    // Header: never subject to recovery. A damaged header means we
+    // cannot even trust the record framing, so fail outright.
     char magic[8];
     is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw std::runtime_error("not an LRS trace file");
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        throwTrace(DiagCode::TraceBadMagic, "magic",
+                   "not an LRS trace file (expected LRSTRC01)");
+    }
 
     const auto name_len = get<std::uint32_t>(is);
-    if (name_len > 4096)
-        throw std::runtime_error("implausible trace name length");
+    if (name_len > 4096) {
+        throwTrace(DiagCode::TraceBadHeader, "name_len",
+                   "implausible trace name length " +
+                       std::to_string(name_len) + " (max 4096)");
+    }
     std::string name(name_len, '\0');
     is.read(name.data(), name_len);
-    if (!is)
-        throw std::runtime_error("trace file truncated");
+    if (!is) {
+        throwTrace(DiagCode::TraceTruncated, "name",
+                   "trace file truncated inside the name");
+    }
 
     const auto count = get<std::uint64_t>(is);
+
+    // Slurp the record bytes: recovery needs random access for the
+    // framing resync, and even the strict path profits from one read.
+    std::vector<std::uint8_t> buf(
+        std::istreambuf_iterator<char>(is),
+        std::istreambuf_iterator<char>{});
+
     std::vector<Uop> uops;
-    uops.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        Uop u;
-        u.pc = get<std::uint64_t>(is);
-        const auto cls = get<std::uint8_t>(is);
-        if (cls > static_cast<std::uint8_t>(UopClass::Branch))
-            throw std::runtime_error("malformed uop class");
-        u.cls = static_cast<UopClass>(cls);
-        u.src1 = get<std::int8_t>(is);
-        u.src2 = get<std::int8_t>(is);
-        u.dst = get<std::int8_t>(is);
-        if (u.src1 >= kNumArchRegs || u.src2 >= kNumArchRegs ||
-            u.dst >= kNumArchRegs || u.src1 < -1 || u.src2 < -1 ||
-            u.dst < -1) {
-            throw std::runtime_error("malformed uop registers");
+    // A corrupted count must not drive allocation: cap the reserve at
+    // what the stream can physically hold.
+    uops.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count,
+                                buf.size() / kTraceRecordBytes)));
+
+    std::size_t off = 0;
+    Uop u;
+    while (uops.size() < count &&
+           off + kTraceRecordBytes <= buf.size()) {
+        if (parseRecord(buf.data() + off, u)) {
+            uops.push_back(u);
+            ++st.recordsRead;
+            off += kTraceRecordBytes;
+            continue;
         }
-        u.addr = get<std::uint64_t>(is);
-        u.memSize = get<std::uint8_t>(is);
-        u.taken = get<std::uint8_t>(is) != 0;
-        uops.push_back(u);
+        if (!opts.recover) {
+            throwTrace(DiagCode::TraceBadRecord,
+                       "record " + std::to_string(uops.size()),
+                       describeBadRecord(buf.data() + off));
+        }
+        ++st.skippedRecords;
+        if (st.skippedRecords > opts.badRecordBudget) {
+            throwTrace(
+                DiagCode::TraceBudgetExceeded, "bad_record_budget",
+                "skipped " + std::to_string(st.skippedRecords) +
+                    " malformed records, budget allows " +
+                    std::to_string(opts.badRecordBudget) +
+                    " — the trace is damaged beyond graceful "
+                    "degradation");
+        }
+        // Prefer preserved framing: bytes were corrupted in place, so
+        // the next record boundary usually parses.
+        const std::size_t next = off + kTraceRecordBytes;
+        if (next + kTraceRecordBytes > buf.size() ||
+            parseRecord(buf.data() + next, u)) {
+            off = next;
+            continue;
+        }
+        // Framing lost (bytes inserted/removed): slide one byte at a
+        // time until some window parses again.
+        std::size_t p = off + 1;
+        while (p + kTraceRecordBytes <= buf.size() &&
+               !parseRecord(buf.data() + p, u)) {
+            ++p;
+        }
+        st.resyncBytes += p - off;
+        off = p;
     }
+
+    if (uops.size() < count) {
+        st.missingRecords = count - uops.size();
+        st.truncatedTailBytes = buf.size() - off;
+        if (!opts.recover) {
+            throwTrace(DiagCode::TraceTruncated, "records",
+                       "trace file truncated: header promises " +
+                           std::to_string(count) + " records, got " +
+                           std::to_string(uops.size()));
+        }
+    }
+
+    if (opts.recover &&
+        (st.skippedRecords || st.missingRecords)) {
+        uops = repairStorePairs(std::move(uops), st);
+    }
+
     return std::make_unique<VecTrace>(std::move(name),
                                       std::move(uops));
 }
 
 std::unique_ptr<VecTrace>
-readTraceFile(const std::string &path)
+readTraceFile(const std::string &path, const TraceReadOptions &opts,
+              TraceReadStats *stats)
 {
     std::ifstream f(path, std::ios::binary);
-    if (!f)
-        throw std::runtime_error("cannot open for read: " + path);
-    return readTrace(f);
+    if (!f) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed,
+                               "trace.serialize", "path",
+                               "cannot open for read: " + path));
+    }
+    return readTrace(f, opts, stats);
 }
 
 } // namespace lrs

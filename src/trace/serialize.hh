@@ -7,19 +7,73 @@
  * (e.g. a binary-instrumentation pipeline) instead of the synthetic
  * generator. The format is a fixed little-endian record stream with a
  * magic/version header; see writeTrace() for the layout.
+ *
+ * Two reading disciplines:
+ *  - strict (default): the first malformed byte aborts the read with
+ *    a TraceError. Right for traces the simulator itself wrote.
+ *  - recovery (TraceReadOptions::recover): malformed records are
+ *    skipped and the reader re-synchronises on the fixed record
+ *    framing (sliding a byte at a time when the framing itself is
+ *    damaged), so a mostly-good trace from an external producer still
+ *    simulates. Every drop is accounted in TraceReadStats ("trace.*"
+ *    in the stats registry), and a configurable bad-record budget
+ *    turns "mostly good" into a hard failure when exceeded —
+ *    degradation is graceful but never silent.
  */
 
 #ifndef LRS_TRACE_SERIALIZE_HH
 #define LRS_TRACE_SERIALIZE_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <string>
 
+#include "common/diag.hh"
+#include "common/stats_registry.hh"
 #include "trace/stream.hh"
 
 namespace lrs
 {
+
+/** Serialized size of one uop record, in bytes. */
+constexpr std::size_t kTraceRecordBytes = 22;
+
+/** Policy for tolerant trace reading. */
+struct TraceReadOptions
+{
+    /** Skip malformed records instead of throwing on the first. */
+    bool recover = false;
+    /**
+     * Give up (TraceError, E_TRACE_BUDGET_EXCEEDED) once more than
+     * this many records were dropped: a trace that is mostly garbage
+     * should fail loudly, not simulate quietly on its few survivors.
+     */
+    std::uint64_t badRecordBudget =
+        std::numeric_limits<std::uint64_t>::max();
+};
+
+/** Accounting of one tolerant read (all zero after a clean read). */
+struct TraceReadStats
+{
+    std::uint64_t recordsRead = 0;    ///< records accepted
+    std::uint64_t skippedRecords = 0; ///< malformed records dropped
+    std::uint64_t resyncBytes = 0;    ///< bytes slid over hunting framing
+    std::uint64_t truncatedTailBytes = 0; ///< partial record at EOF
+    /** Records promised by the header but missing from the stream. */
+    std::uint64_t missingRecords = 0;
+    /**
+     * Store-half uops dropped to restore STA/STD pairing: the core
+     * pairs an STD with the STA directly before it, so when recovery
+     * drops one half of a store the surviving half must go too or the
+     * MOB wedges on a store that never completes.
+     */
+    std::uint64_t droppedStoreUops = 0;
+
+    /** Bind these counters under @p g (conventionally "trace"). */
+    void registerStats(StatsGroup g);
+};
 
 /**
  * Write @p trace to @p os.
@@ -28,7 +82,7 @@ namespace lrs
  * u64 uop count, then per uop: u64 pc, u8 class, i8 src1, i8 src2,
  * i8 dst, u64 addr, u8 memSize, u8 taken.
  *
- * @throws std::runtime_error on stream failure.
+ * @throws IoError on stream failure.
  */
 void writeTrace(std::ostream &os, const VecTrace &trace);
 
@@ -38,13 +92,20 @@ void writeTraceFile(const std::string &path, const VecTrace &trace);
 /**
  * Read a trace previously written with writeTrace().
  *
- * @throws std::runtime_error on bad magic, truncation, or malformed
- *         records (out-of-range class or register numbers).
+ * @throws TraceError on bad magic, truncation, or malformed records
+ *         (out-of-range class or register numbers) in strict mode;
+ *         in recovery mode, only on bad magic/header or an exhausted
+ *         bad-record budget.
  */
-std::unique_ptr<VecTrace> readTrace(std::istream &is);
+std::unique_ptr<VecTrace> readTrace(std::istream &is,
+                                    const TraceReadOptions &opts = {},
+                                    TraceReadStats *stats = nullptr);
 
 /** Convenience: read from a file path. */
-std::unique_ptr<VecTrace> readTraceFile(const std::string &path);
+std::unique_ptr<VecTrace>
+readTraceFile(const std::string &path,
+              const TraceReadOptions &opts = {},
+              TraceReadStats *stats = nullptr);
 
 } // namespace lrs
 

@@ -81,6 +81,135 @@ TEST(Serialize, RejectsCorruptUopClass)
     EXPECT_THROW(readTrace(bad), std::runtime_error);
 }
 
+TEST(Serialize, TruncationAtEveryByteOffsetFailsCleanly)
+{
+    // Cutting the stream at ANY byte must yield a TraceError in
+    // strict mode — never a crash, hang, or silently short trace.
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 8));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    const std::string full = ss.str();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        std::stringstream is(full.substr(0, cut));
+        EXPECT_THROW(readTrace(is), TraceError) << "cut at " << cut;
+    }
+    // The full stream, of course, still reads.
+    std::stringstream ok(full);
+    EXPECT_EQ(readTrace(ok)->size(), orig->size());
+}
+
+TEST(Serialize, TruncatedRecordsRecoverWithAccounting)
+{
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 100));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    const std::string full = ss.str();
+    // Chop mid-record: 10 whole records plus half of the 11th.
+    std::stringstream cut(
+        full.substr(0, full.size() - 89 * kTraceRecordBytes - 11));
+    TraceReadOptions opts;
+    opts.recover = true;
+    TraceReadStats st;
+    auto back = readTrace(cut, opts, &st);
+    EXPECT_LE(back->size(), 10u); // store re-pairing may drop more
+    EXPECT_EQ(st.missingRecords, 100u - st.recordsRead);
+    EXPECT_EQ(st.truncatedTailBytes, kTraceRecordBytes - 11);
+}
+
+TEST(Serialize, RejectsOversizedNameLength)
+{
+    // Magic + a name length that would dwarf any real stream: the
+    // reader must refuse before trying to allocate it.
+    std::string bytes = "LRSTRC01";
+    const std::uint32_t huge = 0x7fffffffu;
+    bytes.append(reinterpret_cast<const char *>(&huge), 4);
+    bytes.append(64, 'x');
+    std::stringstream ss(bytes);
+    EXPECT_THROW(readTrace(ss), TraceError);
+}
+
+TEST(Serialize, RejectsCorruptedHeaderEvenInRecoveryMode)
+{
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 50));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    std::string bytes = ss.str();
+    bytes[3] ^= 0xff; // damage the magic
+    TraceReadOptions opts;
+    opts.recover = true;
+    std::stringstream bad(bytes);
+    EXPECT_THROW(readTrace(bad, opts), TraceError);
+}
+
+TEST(Serialize, RecoverySkipsCorruptRecordAndKeepsFraming)
+{
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 200));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    std::string bytes = ss.str();
+    const std::size_t header = 8 + 4 + orig->name().size() + 8;
+    // Wreck record 20's class byte in place: framing is preserved.
+    bytes[header + 20 * kTraceRecordBytes + 8] = 0x7f;
+    TraceReadOptions opts;
+    opts.recover = true;
+    TraceReadStats st;
+    std::stringstream is(bytes);
+    auto back = readTrace(is, opts, &st);
+    EXPECT_EQ(st.skippedRecords, 1u);
+    EXPECT_EQ(st.resyncBytes, 0u); // no byte-hunt needed
+    EXPECT_EQ(st.recordsRead, 199u);
+}
+
+TEST(Serialize, RecoveryResyncsAfterInsertedGarbage)
+{
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 200));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    std::string bytes = ss.str();
+    const std::size_t header = 8 + 4 + orig->name().size() + 8;
+    // Insert garbage BETWEEN records: framing itself is now broken
+    // and the reader must slide byte-by-byte to re-lock.
+    bytes.insert(header + 10 * kTraceRecordBytes,
+                 std::string(7, '\x7f'));
+    TraceReadOptions opts;
+    opts.recover = true;
+    TraceReadStats st;
+    std::stringstream is(bytes);
+    auto back = readTrace(is, opts, &st);
+    EXPECT_GT(st.resyncBytes, 0u);
+    EXPECT_GT(st.recordsRead, 150u);
+    EXPECT_GT(back->size(), 150u);
+}
+
+TEST(Serialize, RecoveryNeverLeavesHalfAStore)
+{
+    // Whatever recovery drops, the surviving stream must keep the
+    // STA-immediately-followed-by-STD shape the core requires.
+    auto orig = TraceLibrary::make(TraceLibrary::byName("wd", 5000));
+    std::stringstream ss;
+    writeTrace(ss, *orig);
+    std::string bytes = ss.str();
+    const std::size_t header = 8 + 4 + orig->name().size() + 8;
+    for (std::size_t r = 3; r < 5000; r += 97)
+        bytes[header + r * kTraceRecordBytes + 8] = 0x7f;
+    TraceReadOptions opts;
+    opts.recover = true;
+    TraceReadStats st;
+    std::stringstream is(bytes);
+    auto back = readTrace(is, opts, &st);
+    ASSERT_GT(st.skippedRecords, 0u);
+    const auto &uops = back->uops();
+    for (std::size_t i = 0; i < uops.size(); ++i) {
+        if (uops[i].isSta()) {
+            ASSERT_LT(i + 1, uops.size()) << "trailing lone STA";
+            ASSERT_TRUE(uops[i + 1].isStd()) << "unpaired STA at " << i;
+        } else if (uops[i].isStd()) {
+            ASSERT_TRUE(i > 0 && uops[i - 1].isSta())
+                << "unpaired STD at " << i;
+        }
+    }
+}
+
 TEST(Serialize, FileRoundTrip)
 {
     auto orig = TraceLibrary::make(TraceLibrary::byName("li", 5000));

@@ -15,12 +15,16 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "common/diag.hh"
+#include "common/fault_injector.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
 #include "core/config_io.hh"
@@ -33,10 +37,20 @@ using namespace lrs;
 namespace
 {
 
+// Exit codes (docs/ROBUSTNESS.md): 0 success, 1 runtime failure
+// (including audit violations), 2 usage, 3 invalid configuration,
+// 4 I/O or trace-content failure.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 3;
+constexpr int kExitIo = 4;
+
 [[noreturn]] void
-usage(const char *argv0)
+usage(FILE *out, int code, const char *argv0)
 {
-    std::printf(
+    std::fprintf(
+        out,
         "usage: %s [options]\n"
         "  --trace NAME          named synthetic trace (e.g. wd, gcc,"
         " swim, tpcc)\n"
@@ -63,7 +77,10 @@ usage(const char *argv0)
         "  --dump-trace PATH     write the generated trace and exit\n"
         "  --json PATH           write the result (all counters, "
         "interval series,\n"
-        "                        stats registry) as JSON\n"
+        "                        stats registry) as JSON; '-' writes "
+        "JSON to stdout\n"
+        "                        (human-readable output then goes to "
+        "stderr)\n"
         "  --stats-interval N    snapshot interval metrics every N "
         "cycles\n"
         "  --trace-events PATH   record per-uop pipeline events and "
@@ -71,66 +88,96 @@ usage(const char *argv0)
         "                        trace_event file (chrome://tracing / "
         "Perfetto)\n"
         "  --trace-buf N         event ring-buffer capacity "
-        "(default 262144)\n",
+        "(default 262144)\n"
+        "robustness (docs/ROBUSTNESS.md):\n"
+        "  --audit               audit ROB/window/MOB invariants "
+        "(LRS_AUDIT=1)\n"
+        "  --audit-interval N    audit every N cycles (implies "
+        "--audit; default 8192)\n"
+        "  --recover             skip malformed trace records instead "
+        "of aborting\n"
+        "  --bad-record-budget N abort after N skipped records "
+        "(default unlimited)\n"
+        "  --inject-trace-faults corrupt the trace through the fault "
+        "injector and\n"
+        "                        read it back in recovery mode\n"
+        "  --fault-seed N        fault injector seed "
+        "(LRS_FAULT_SEED)\n"
+        "  --fault-trace-rate R  per-record corruption probability "
+        "(LRS_FAULT_TRACE_RATE)\n"
+        "  --fault-bit-rate R    per-load CHT bit-flip probability "
+        "(LRS_FAULT_BIT_RATE)\n"
+        "  --fault-lat-rate R    per-access latency perturbation "
+        "probability (LRS_FAULT_LAT_RATE)\n"
+        "exit codes: 0 ok, 1 runtime/audit failure, 2 usage, "
+        "3 bad config, 4 I/O\n",
         argv0);
-    std::exit(2);
+    std::exit(code);
 }
 
 void
-printResult(const SimResult &r)
+printResult(FILE *out, const SimResult &r)
 {
     const auto pct = [&](std::uint64_t n, std::uint64_t d) {
         return d ? 100.0 * static_cast<double>(n) /
                        static_cast<double>(d)
                  : 0.0;
     };
-    std::printf("trace          %s\n", r.trace.c_str());
-    std::printf("config         %s\n", r.config.c_str());
-    std::printf("cycles         %llu\n",
-                static_cast<unsigned long long>(r.cycles));
-    std::printf("uops           %llu (IPC %.2f)\n",
-                static_cast<unsigned long long>(r.uops), r.ipc());
-    std::printf("loads          %llu (%.1f%% of uops)\n",
-                static_cast<unsigned long long>(r.loads),
-                pct(r.loads, r.uops));
-    std::printf("  no-conflict  %.1f%%   ANC %.1f%%   AC %.1f%%\n",
-                pct(r.notConflicting, r.classifiedLoads()),
-                pct(r.ancPnc + r.ancPc, r.classifiedLoads()),
-                pct(r.actuallyColliding(), r.classifiedLoads()));
-    std::printf("  pred mix     AC-PC %.2f%%  AC-PNC %.2f%%  "
-                "ANC-PC %.2f%%\n",
-                pct(r.acPc, r.classifiedLoads()),
-                pct(r.acPnc, r.classifiedLoads()),
-                pct(r.ancPc, r.classifiedLoads()));
-    std::printf("  forwarded    %llu   penalized %llu   violations "
-                "%llu\n",
-                static_cast<unsigned long long>(r.forwarded),
-                static_cast<unsigned long long>(r.collisionPenalties),
-                static_cast<unsigned long long>(r.orderViolations));
-    std::printf("L1 misses      %llu (%.2f%% of loads, %llu dynamic)\n",
-                static_cast<unsigned long long>(r.l1Misses),
-                pct(r.l1Misses, r.loads),
-                static_cast<unsigned long long>(r.dynamicMisses));
-    std::printf("hit-miss pred  AH-PH %llu  AH-PM %llu  AM-PH %llu  "
-                "AM-PM %llu\n",
-                static_cast<unsigned long long>(r.ahPh),
-                static_cast<unsigned long long>(r.ahPm),
-                static_cast<unsigned long long>(r.amPh),
-                static_cast<unsigned long long>(r.amPm));
-    std::printf("branches       %llu (%.2f%% mispredicted)\n",
-                static_cast<unsigned long long>(r.branches),
-                pct(r.branchMispredicts, r.branches));
-    std::printf("issue waste    %llu wasted slots, %llu replayed "
-                "uops\n",
-                static_cast<unsigned long long>(r.wastedIssues),
-                static_cast<unsigned long long>(r.replayedUops));
+    std::fprintf(out, "trace          %s\n", r.trace.c_str());
+    std::fprintf(out, "config         %s\n", r.config.c_str());
+    std::fprintf(out, "cycles         %llu\n",
+                 static_cast<unsigned long long>(r.cycles));
+    std::fprintf(out, "uops           %llu (IPC %.2f)\n",
+                 static_cast<unsigned long long>(r.uops), r.ipc());
+    std::fprintf(out, "loads          %llu (%.1f%% of uops)\n",
+                 static_cast<unsigned long long>(r.loads),
+                 pct(r.loads, r.uops));
+    std::fprintf(out,
+                 "  no-conflict  %.1f%%   ANC %.1f%%   AC %.1f%%\n",
+                 pct(r.notConflicting, r.classifiedLoads()),
+                 pct(r.ancPnc + r.ancPc, r.classifiedLoads()),
+                 pct(r.actuallyColliding(), r.classifiedLoads()));
+    std::fprintf(out,
+                 "  pred mix     AC-PC %.2f%%  AC-PNC %.2f%%  "
+                 "ANC-PC %.2f%%\n",
+                 pct(r.acPc, r.classifiedLoads()),
+                 pct(r.acPnc, r.classifiedLoads()),
+                 pct(r.ancPc, r.classifiedLoads()));
+    std::fprintf(out,
+                 "  forwarded    %llu   penalized %llu   violations "
+                 "%llu\n",
+                 static_cast<unsigned long long>(r.forwarded),
+                 static_cast<unsigned long long>(r.collisionPenalties),
+                 static_cast<unsigned long long>(r.orderViolations));
+    std::fprintf(out,
+                 "L1 misses      %llu (%.2f%% of loads, %llu "
+                 "dynamic)\n",
+                 static_cast<unsigned long long>(r.l1Misses),
+                 pct(r.l1Misses, r.loads),
+                 static_cast<unsigned long long>(r.dynamicMisses));
+    std::fprintf(out,
+                 "hit-miss pred  AH-PH %llu  AH-PM %llu  AM-PH %llu  "
+                 "AM-PM %llu\n",
+                 static_cast<unsigned long long>(r.ahPh),
+                 static_cast<unsigned long long>(r.ahPm),
+                 static_cast<unsigned long long>(r.amPh),
+                 static_cast<unsigned long long>(r.amPm));
+    std::fprintf(out, "branches       %llu (%.2f%% mispredicted)\n",
+                 static_cast<unsigned long long>(r.branches),
+                 pct(r.branchMispredicts, r.branches));
+    std::fprintf(out,
+                 "issue waste    %llu wasted slots, %llu replayed "
+                 "uops\n",
+                 static_cast<unsigned long long>(r.wastedIssues),
+                 static_cast<unsigned long long>(r.replayedUops));
     if (r.bankConflicts || r.bankMispredicts || r.bankReplications) {
-        std::printf("banked pipe    %llu conflicts, %llu mispredicts, "
-                    "%llu replications\n",
-                    static_cast<unsigned long long>(r.bankConflicts),
-                    static_cast<unsigned long long>(r.bankMispredicts),
-                    static_cast<unsigned long long>(
-                        r.bankReplications));
+        std::fprintf(
+            out,
+            "banked pipe    %llu conflicts, %llu mispredicts, "
+            "%llu replications\n",
+            static_cast<unsigned long long>(r.bankConflicts),
+            static_cast<unsigned long long>(r.bankMispredicts),
+            static_cast<unsigned long long>(r.bankReplications));
     }
 }
 
@@ -143,11 +190,48 @@ void
 writeTextFile(const std::string &path, const std::string &text)
 {
     std::ofstream os(path, std::ios::binary);
-    if (!os)
-        throw std::runtime_error("cannot open " + path);
+    if (!os) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                               "path", "cannot open " + path));
+    }
     os << text;
-    if (!os)
-        throw std::runtime_error("write failed: " + path);
+    if (!os) {
+        throw IoError(makeDiag(DiagCode::IoWriteFailed, "lrs_sim",
+                               "path", "write failed: " + path));
+    }
+}
+
+/** Emit a JSON document to a path, or to stdout for "-". */
+void
+emitJson(const std::string &path, const json::Value &doc)
+{
+    if (path == "-") {
+        std::cout << doc.dump(2) << "\n";
+        return;
+    }
+    writeTextFile(path, doc.dump(2));
+}
+
+/**
+ * Push the trace through the fault injector at the serialized-bytes
+ * level (header protected) and read it back in recovery mode — the
+ * end-to-end graceful-degradation path.
+ */
+std::unique_ptr<VecTrace>
+injectTraceFaults(const VecTrace &trace, FaultInjector &fi,
+                  const TraceReadOptions &opts, TraceReadStats &st)
+{
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    std::string bytes = ss.str();
+    const std::size_t header =
+        8 + 4 + trace.name().size() + 8; // magic, len, name, count
+    fi.corruptBuffer(reinterpret_cast<std::uint8_t *>(bytes.data()),
+                     bytes.size(), header, kTraceRecordBytes);
+    std::stringstream back(bytes);
+    TraceReadOptions o = opts;
+    o.recover = true;
+    return readTrace(back, o, &st);
 }
 
 } // namespace
@@ -163,16 +247,23 @@ main(int argc, char **argv)
     std::uint64_t trace_buf = PipelineTracer::kDefaultCapacity;
     std::uint64_t len = 200000;
     bool compare = false;
+    bool inject_trace_faults = false;
+    TraceReadOptions read_opts;
+    FaultConfig fault_cfg = FaultConfig::fromEnv();
 
     MachineConfig cfg;
     cfg.cht.trackDistance = true;
+    if (const char *v = std::getenv("LRS_AUDIT");
+        v && *v && std::string(v) != "0") {
+        cfg.auditInterval = 8192;
+    }
 
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             auto next = [&]() -> std::string {
                 if (i + 1 >= argc)
-                    usage(argv[0]);
+                    usage(stderr, kExitUsage, argv[0]);
                 return argv[++i];
             };
             if (a == "--trace") trace_name = next();
@@ -196,7 +287,7 @@ main(int argc, char **argv)
                 cfg = machineConfigFromFile(next(), cfg);
             else if (a == "--dump-config") {
                 std::cout << machineConfigToIni(cfg);
-                return 0;
+                return kExitOk;
             }
             else if (a == "--compare-schemes") compare = true;
             else if (a == "--dump-trace") dump_path = next();
@@ -207,25 +298,64 @@ main(int argc, char **argv)
                 trace_events_path = next();
             else if (a == "--trace-buf")
                 trace_buf = std::stoull(next());
-            else if (a == "--help" || a == "-h") usage(argv[0]);
+            else if (a == "--audit") {
+                if (cfg.auditInterval == 0)
+                    cfg.auditInterval = 8192;
+            }
+            else if (a == "--audit-interval")
+                cfg.auditInterval = std::stoull(next());
+            else if (a == "--recover") read_opts.recover = true;
+            else if (a == "--bad-record-budget")
+                read_opts.badRecordBudget = std::stoull(next());
+            else if (a == "--inject-trace-faults")
+                inject_trace_faults = true;
+            else if (a == "--fault-seed")
+                fault_cfg.seed = std::stoull(next());
+            else if (a == "--fault-trace-rate")
+                fault_cfg.traceRate = std::stod(next());
+            else if (a == "--fault-bit-rate")
+                fault_cfg.bitRate = std::stod(next());
+            else if (a == "--fault-lat-rate")
+                fault_cfg.latRate = std::stod(next());
+            else if (a == "--help" || a == "-h")
+                usage(stdout, kExitOk, argv[0]);
             else {
                 std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-                usage(argv[0]);
+                usage(stderr, kExitUsage, argv[0]);
             }
         }
+        if (inject_trace_faults && fault_cfg.traceRate <= 0.0)
+            fault_cfg.traceRate = 0.01;
+
+        FaultInjector faults(fault_cfg);
+        TraceReadStats read_stats;
 
         std::unique_ptr<VecTrace> trace;
         if (!trace_file.empty())
-            trace = readTraceFile(trace_file);
+            trace = readTraceFile(trace_file, read_opts, &read_stats);
         else
             trace = TraceLibrary::make(
                 TraceLibrary::byName(trace_name, len));
+
+        if (inject_trace_faults) {
+            trace = injectTraceFaults(*trace, faults, read_opts,
+                                      read_stats);
+            std::fprintf(stderr,
+                         "fault injection: corrupted %llu records, "
+                         "reader skipped %llu (seed %llu)\n",
+                         static_cast<unsigned long long>(
+                             faults.traceFaults()),
+                         static_cast<unsigned long long>(
+                             read_stats.skippedRecords),
+                         static_cast<unsigned long long>(
+                             fault_cfg.seed));
+        }
 
         if (!dump_path.empty()) {
             writeTraceFile(dump_path, *trace);
             std::printf("wrote %zu uops to %s\n", trace->size(),
                         dump_path.c_str());
-            return 0;
+            return kExitOk;
         }
 
         if (compare) {
@@ -247,29 +377,52 @@ main(int argc, char **argv)
                 for (const auto &r : results)
                     schemes.push(r.toJson());
                 doc.set("schemes", std::move(schemes));
-                writeTextFile(json_path, doc.dump(2));
+                emitJson(json_path, doc);
             }
-            return 0;
+            return kExitOk;
         }
 
         OooCore core(cfg);
+        // The reader/injector accounting joins the core's registry so
+        // one JSON document tells the whole robustness story
+        // ("trace.*", "fault.*", "audit.*").
+        read_stats.registerStats(core.stats().group("trace"));
+        faults.registerStats(core.stats().group("fault"));
+        if (faults.enabled())
+            core.attachFaultInjector(&faults);
         std::unique_ptr<PipelineTracer> tracer;
         if (!trace_events_path.empty()) {
             tracer = std::make_unique<PipelineTracer>(trace_buf);
             core.attachTracer(tracer.get());
         }
         const SimResult r = core.run(*trace);
-        printResult(r);
+        printResult(json_path == "-" ? stderr : stdout, r);
         if (!json_path.empty()) {
             json::Value doc = r.toJson();
             doc.set("registry", core.stats().toJson());
-            writeTextFile(json_path, doc.dump(2));
+            emitJson(json_path, doc);
         }
         if (tracer)
             tracer->writeChromeTrace(trace_events_path);
-        return 0;
+        return kExitOk;
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "config error:\n%s\n", e.what());
+        return kExitConfig;
+    } catch (const IoError &e) { // includes TraceError
+        std::fprintf(stderr, "I/O error:\n%s\n", e.what());
+        return kExitIo;
+    } catch (const AuditError &e) {
+        std::fprintf(stderr,
+                     "AUDIT FAILURE — simulator state is corrupt, "
+                     "results are untrustworthy:\n%s\n",
+                     e.what());
+        return kExitRuntime;
+    } catch (const std::invalid_argument &e) {
+        // Flag-value parse errors (std::stoi and friends).
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitUsage;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return kExitRuntime;
     }
 }

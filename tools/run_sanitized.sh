@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Build the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# run the tier-1 test suite under them. Any sanitizer report fails the
+# run (halt_on_error / abort) so CI and humans cannot miss it.
+#
+# Usage: tools/run_sanitized.sh [build-dir] [extra ctest args...]
+#   default build dir: build-san (kept separate from the normal build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-san"}
+[ $# -gt 0 ] && shift
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLRS_SANITIZE="address;undefined"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$build_dir" --output-on-failure -j \
+    "$(nproc 2>/dev/null || echo 4)" "$@"
+
+echo "sanitized test run passed: $build_dir"
