@@ -33,20 +33,43 @@ main()
 
     TextTable t({"banks", "predictor", "rate", "accuracy",
                  "metric(pen=2)"});
-    for (const unsigned banks : {2u, 4u, 8u}) {
-        for (const bool use_addr : {false, true}) {
+    const std::vector<unsigned> bank_counts = {2u, 4u, 8u};
+    const std::vector<bool> addr_variants = {false, true};
+
+    // Flatten the (banks × predictor × trace) analysis grid into
+    // pool jobs; fold the slots in the original loop order.
+    struct Cell
+    {
+        unsigned banks;
+        bool use_addr;
+        std::size_t ti;
+    };
+    std::vector<Cell> cells;
+    for (const unsigned banks : bank_counts)
+        for (const bool use_addr : addr_variants)
+            for (std::size_t ti = 0; ti < traces.size(); ++ti)
+                cells.push_back({banks, use_addr, ti});
+
+    std::vector<BankStats> slots(cells.size());
+    parallelSweep(cells.size(), [&](std::size_t idx) {
+        const Cell &c = cells[idx];
+        auto trace = TraceLibrary::make(traces[c.ti]);
+        std::unique_ptr<BankPredictor> pred;
+        if (c.use_addr) {
+            pred = std::make_unique<AddressBankPredictor>(64, c.banks,
+                                                          1024);
+        } else {
+            pred = makePerBitBankPredictor(c.banks);
+        }
+        slots[idx] = analyzeBank(*trace, *pred, 64, c.banks);
+    });
+
+    std::size_t idx = 0;
+    for (const unsigned banks : bank_counts) {
+        for (const bool use_addr : addr_variants) {
             BankStats agg;
-            for (const auto &tp : traces) {
-                auto trace = TraceLibrary::make(tp);
-                std::unique_ptr<BankPredictor> pred;
-                if (use_addr) {
-                    pred = std::make_unique<AddressBankPredictor>(
-                        64, banks, 1024);
-                } else {
-                    pred = makePerBitBankPredictor(banks);
-                }
-                const auto st =
-                    analyzeBank(*trace, *pred, 64, banks);
+            for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+                const BankStats &st = slots[idx++];
                 agg.loads += st.loads;
                 agg.predicted += st.predicted;
                 agg.correct += st.correct;

@@ -76,19 +76,37 @@ main()
 
     TextTable t({"variant", "speedup", "AC-PNC%", "ANC-PC%",
                  "penalized/kload"});
-    for (const auto &v : variants()) {
+
+    // One pool job per (variant × trace): the Traditional baseline
+    // plus the variant run over the same generated trace. Slots are
+    // folded per variant in the original loop order.
+    const auto vs = variants();
+    struct Slot
+    {
+        SimResult base, r;
+    };
+    std::vector<Slot> slots(vs.size() * traces.size());
+    parallelSweep(slots.size(), [&](std::size_t idx) {
+        const auto &v = vs[idx / traces.size()];
+        const auto &tp = traces[idx % traces.size()];
+        auto trace = TraceLibrary::make(tp);
+        MachineConfig cfg;
+        cfg.scheme = OrderingScheme::Traditional;
+        slots[idx].base = runSim(*trace, cfg);
+        cfg.scheme = OrderingScheme::Inclusive;
+        cfg.cht = v.cht;
+        slots[idx].r = runSim(*trace, cfg);
+    });
+
+    for (std::size_t vi = 0; vi < vs.size(); ++vi) {
+        const auto &v = vs[vi];
         double speedup = 0.0;
         std::uint64_t ac_pnc = 0, anc_pc = 0, conf = 0, pen = 0,
                       loads = 0;
-        for (const auto &tp : traces) {
-            auto trace = TraceLibrary::make(tp);
-            MachineConfig cfg;
-            cfg.scheme = OrderingScheme::Traditional;
-            const auto base = runSim(*trace, cfg);
-            cfg.scheme = OrderingScheme::Inclusive;
-            cfg.cht = v.cht;
-            const auto r = runSim(*trace, cfg);
-            speedup += r.speedupOver(base);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const Slot &s = slots[vi * traces.size() + ti];
+            const SimResult &r = s.r;
+            speedup += r.speedupOver(s.base);
             ac_pnc += r.acPnc;
             anc_pc += r.ancPc;
             conf += r.conflicting();

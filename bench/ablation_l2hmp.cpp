@@ -35,15 +35,40 @@ main()
 
     TextTable t({"group", "predictor", "mem-miss rate", "coverage",
                  "false-switch", "net cycles/kload"});
+    const std::vector<const char *> preds = {"local", "chooser"};
+
+    // Flatten the (group × predictor × trace) estimation grid into
+    // pool jobs; fold the slots in the original loop order.
+    struct Cell
+    {
+        TraceParams tp;
+        const char *which;
+    };
+    std::vector<Cell> cells;
+    std::vector<std::size_t> trace_counts;
     for (const auto &[label, g] : groups) {
-        for (const char *which : {"local", "chooser"}) {
+        const auto traces = groupTraces(g, 3);
+        trace_counts.push_back(traces.size());
+        for (const char *which : preds)
+            for (const auto &tp : traces)
+                cells.push_back({tp, which});
+    }
+    std::vector<ThreadSwitchEstimate> slots(cells.size());
+    parallelSweep(cells.size(), [&](std::size_t idx) {
+        auto trace = TraceLibrary::make(cells[idx].tp);
+        auto hmp = makeHmp(cells[idx].which);
+        slots[idx] = estimateThreadSwitch(*trace, *hmp);
+    });
+
+    std::size_t idx = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &label = groups[gi].first;
+        for (const char *which : preds) {
             HmpStats agg;
             double net = 0.0;
-            const auto traces = groupTraces(g, 3);
-            for (const auto &tp : traces) {
-                auto trace = TraceLibrary::make(tp);
-                auto hmp = makeHmp(which);
-                const auto est = estimateThreadSwitch(*trace, *hmp);
+            const std::size_t n_traces = trace_counts[gi];
+            for (std::size_t ti = 0; ti < n_traces; ++ti) {
+                const auto &est = slots[idx++];
                 agg.loads += est.stats.loads;
                 agg.misses += est.stats.misses;
                 agg.ahPm += est.stats.ahPm;
@@ -58,7 +83,7 @@ main()
             t.cellPct(agg.missRate(), 2);
             t.cellPct(agg.coverage(), 1);
             t.cellPct(agg.falseMissFrac(), 2);
-            t.cell(net / static_cast<double>(traces.size()), 1);
+            t.cell(net / static_cast<double>(n_traces), 1);
         }
     }
     t.print(std::cout);

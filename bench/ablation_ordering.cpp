@@ -41,23 +41,35 @@ main()
                  "Inclusive", "Exclusive", "Excl+fwd", "Perfect"});
     std::vector<std::vector<double>> per_scheme(7);
 
-    for (const auto &tp : traces) {
-        auto trace = TraceLibrary::make(tp);
+    // One pool job per trace; each job runs the full scheme set plus
+    // the forwarding variant over its own generated trace. Per-trace
+    // slots are folded in trace order.
+    struct Slot
+    {
+        std::vector<SimResult> results;
+        SimResult fwd;
+    };
+    std::vector<Slot> slots(traces.size());
+    parallelSweep(traces.size(), [&](std::size_t ti) {
+        auto trace = TraceLibrary::make(traces[ti]);
         MachineConfig cfg;
         cfg.cht = paperCht();
 
-        std::vector<SimResult> results;
         for (const auto s : schemes) {
             cfg.scheme = s;
-            results.push_back(runSim(*trace, cfg));
+            slots[ti].results.push_back(runSim(*trace, cfg));
         }
         // Exclusive with speculative value forwarding (section 2.1's
         // distance-pairing extension).
         cfg.scheme = OrderingScheme::Exclusive;
         cfg.exclusiveSpecForward = true;
-        const SimResult fwd = runSim(*trace, cfg);
-        cfg.exclusiveSpecForward = false;
+        slots[ti].fwd = runSim(*trace, cfg);
+    });
 
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        const auto &tp = traces[ti];
+        const std::vector<SimResult> &results = slots[ti].results;
+        const SimResult &fwd = slots[ti].fwd;
         const SimResult &base = results[0];
         t.startRow();
         t.cell(tp.name);

@@ -39,22 +39,39 @@ main()
         {2048, 0},  {2048, 2},  {2048, 4},
         {32768, 0}, {32768, 2}, {32768, 4},
     };
-    for (const auto &[entries, path_bits] : sweep) {
+    // One pool job per (sweep point × trace): baseline plus variant
+    // over the same generated trace; fold slots in the original
+    // loop order.
+    const std::size_t n_sweep = std::size(sweep);
+    struct Slot
+    {
+        SimResult base, r;
+    };
+    std::vector<Slot> slots(n_sweep * traces.size());
+    parallelSweep(slots.size(), [&](std::size_t idx) {
+        const auto &[entries, path_bits] = sweep[idx / traces.size()];
+        const auto &tp = traces[idx % traces.size()];
+        auto trace = TraceLibrary::make(tp);
+        MachineConfig cfg;
+        cfg.scheme = OrderingScheme::Traditional;
+        slots[idx].base = runSim(*trace, cfg);
+
+        cfg.scheme = OrderingScheme::Exclusive;
+        cfg.cht = paperCht();
+        cfg.cht.entries = entries;
+        cfg.cht.pathBits = path_bits;
+        slots[idx].r = runSim(*trace, cfg);
+    });
+
+    for (std::size_t si = 0; si < n_sweep; ++si) {
+        const auto &[entries, path_bits] = sweep[si];
         double speedup = 0.0;
         std::uint64_t ac_pnc = 0, anc_pc = 0, conf = 0, pen = 0,
                       loads = 0;
-        for (const auto &tp : traces) {
-            auto trace = TraceLibrary::make(tp);
-            MachineConfig cfg;
-            cfg.scheme = OrderingScheme::Traditional;
-            const auto base = runSim(*trace, cfg);
-
-            cfg.scheme = OrderingScheme::Exclusive;
-            cfg.cht = paperCht();
-            cfg.cht.entries = entries;
-            cfg.cht.pathBits = path_bits;
-            const auto r = runSim(*trace, cfg);
-            speedup += r.speedupOver(base);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const Slot &s = slots[si * traces.size() + ti];
+            const SimResult &r = s.r;
+            speedup += r.speedupOver(s.base);
             ac_pnc += r.acPnc;
             anc_pc += r.ancPc;
             conf += r.conflicting();

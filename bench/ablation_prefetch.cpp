@@ -30,26 +30,58 @@ main()
 
     TextTable t({"group", "degree", "miss rate", "speedup",
                  "prefetches/kload"});
+    const std::vector<unsigned> degrees = {0u, 1u, 2u, 4u};
+
+    // Flatten the (group × degree × trace) grid into pool jobs (each
+    // runs baseline + prefetch variant); fold per (group, degree) in
+    // the original order.
+    struct Cell
+    {
+        TraceParams tp;
+        unsigned degree;
+    };
+    struct Slot
+    {
+        SimResult base, r;
+    };
+    std::vector<Cell> cells;
+    std::vector<std::size_t> trace_counts;
     for (const auto &[label, g] : groups) {
         const auto traces = groupTraces(g, 3);
-        for (const unsigned degree : {0u, 1u, 2u, 4u}) {
+        trace_counts.push_back(traces.size());
+        for (const unsigned degree : degrees)
+            for (const auto &tp : traces)
+                cells.push_back({tp, degree});
+    }
+    std::vector<Slot> slots(cells.size());
+    parallelSweep(cells.size(), [&](std::size_t idx) {
+        const Cell &c = cells[idx];
+        auto trace = TraceLibrary::make(c.tp);
+        MachineConfig cfg;
+        cfg.scheme = OrderingScheme::Perfect;
+        slots[idx].base = runSim(*trace, cfg);
+        cfg.stridePrefetch = c.degree > 0;
+        cfg.prefetchDegree = c.degree;
+        slots[idx].r =
+            c.degree > 0 ? runSim(*trace, cfg) : slots[idx].base;
+    });
+
+    std::size_t idx = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &label = groups[gi].first;
+        const std::size_t n_traces = trace_counts[gi];
+        for (const unsigned degree : degrees) {
             double miss = 0.0, speedup = 0.0, pfk = 0.0;
-            for (const auto &tp : traces) {
-                auto trace = TraceLibrary::make(tp);
-                MachineConfig cfg;
-                cfg.scheme = OrderingScheme::Perfect;
-                const auto base = runSim(*trace, cfg);
-                cfg.stridePrefetch = degree > 0;
-                cfg.prefetchDegree = degree;
-                const auto r =
-                    degree > 0 ? runSim(*trace, cfg) : base;
+            for (std::size_t ti = 0; ti < n_traces; ++ti) {
+                const Slot &s = slots[idx++];
+                const SimResult &r = s.r;
                 miss += static_cast<double>(r.l1Misses) /
                         static_cast<double>(r.loads);
-                speedup += r.speedupOver(base);
+                speedup += r.speedupOver(s.base);
                 pfk += 1000.0 * static_cast<double>(r.prefetches) /
                        static_cast<double>(r.loads);
             }
-            const double n = static_cast<double>(traces.size());
+            const double n = static_cast<double>(n_traces);
             t.startRow();
             t.cell(label);
             t.cell(strprintf("%u", degree));

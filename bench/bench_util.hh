@@ -13,16 +13,22 @@
 #ifndef LRS_BENCH_UTIL_HH
 #define LRS_BENCH_UTIL_HH
 
+#include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/json.hh"
 #include "common/stats.hh"
+#include "core/parallel.hh"
 #include "core/runner.hh"
 #include "trace/library.hh"
 
@@ -88,8 +94,17 @@ printHeader(const std::string &title, const std::string &paper_note)
  *
  * to $LRS_BENCH_JSON if set, else ./bench_results.json. The row flow
  * mirrors TextTable (beginRow() then value() per column), so a bench
- * fills both side by side. tools/bench_to_json.sh aggregates the
- * per-bench files into the repo-level BENCH_<pr>.json trajectory.
+ * fills both side by side; addRow() appends a complete row in one
+ * call. tools/bench_to_json.sh aggregates the per-bench files into
+ * the repo-level BENCH_<pr>.json trajectory.
+ *
+ * Thread-safety: every member locks an internal mutex, so pool
+ * workers may append rows concurrently — though for deterministic
+ * row order the benches aggregate serially, in job-id order, after
+ * the pool barrier (docs/PARALLELISM.md). write() builds the file
+ * next to the target and atomically rename()s it into place, so two
+ * processes racing on the same $LRS_BENCH_JSON path end with one
+ * intact document instead of an interleaved clobber.
  */
 class JsonReport
 {
@@ -103,6 +118,7 @@ class JsonReport
     void
     beginRow()
     {
+        std::lock_guard<std::mutex> lk(m_);
         flushRow();
         cur_ = json::Value::object();
         open_ = true;
@@ -112,15 +128,29 @@ class JsonReport
     void
     value(const std::string &key, T v)
     {
-        if (!open_)
-            beginRow();
+        std::lock_guard<std::mutex> lk(m_);
+        if (!open_) {
+            flushRow();
+            cur_ = json::Value::object();
+            open_ = true;
+        }
         cur_.set(key, json::Value(v));
     }
 
-    /** Write the report; returns the path written. */
+    /** Append a complete row (e.g. one job's SimResult::toJson()). */
+    void
+    addRow(json::Value row)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        flushRow();
+        rows_.push(std::move(row));
+    }
+
+    /** Write the report atomically; returns the path written. */
     std::string
     write()
     {
+        std::lock_guard<std::mutex> lk(m_);
         flushRow();
         json::Value doc = json::Value::object();
         doc.set("bench", bench_);
@@ -131,18 +161,43 @@ class JsonReport
         const char *env = std::getenv("LRS_BENCH_JSON");
         const std::string path =
             env && *env ? env : "bench_results.json";
-        std::ofstream os(path, std::ios::binary);
-        if (!os)
-            throw std::runtime_error("JsonReport: cannot open " +
-                                     path);
-        os << doc.dump(2);
-        if (!os)
-            throw std::runtime_error("JsonReport: write failed: " +
-                                     path);
+        std::error_code ec;
+        if (std::filesystem::is_directory(path, ec))
+            throw std::runtime_error(
+                "JsonReport: LRS_BENCH_JSON points at a directory: " +
+                path);
+
+        // Unique temp name per process AND per call, so concurrent
+        // writers (two benches, two threads) never share a temp file;
+        // rename() then publishes the finished document atomically.
+        static std::atomic<unsigned> counter{0};
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid()) + "." +
+            std::to_string(counter.fetch_add(1));
+        {
+            std::ofstream os(tmp, std::ios::binary);
+            if (!os)
+                throw std::runtime_error("JsonReport: cannot open " +
+                                         tmp);
+            os << doc.dump(2);
+            os.flush();
+            if (!os) {
+                std::filesystem::remove(tmp, ec);
+                throw std::runtime_error(
+                    "JsonReport: write failed: " + tmp);
+            }
+        }
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            std::filesystem::remove(tmp, ec);
+            throw std::runtime_error("JsonReport: cannot rename " +
+                                     tmp + " -> " + path);
+        }
         return path;
     }
 
   private:
+    /** Caller must hold m_. */
     void
     flushRow()
     {
@@ -151,11 +206,25 @@ class JsonReport
         open_ = false;
     }
 
+    std::mutex m_;
     std::string bench_;
     json::Value rows_;
     json::Value cur_;
     bool open_ = false;
 };
+
+/**
+ * Sweep-grid helper: run fn(0)..fn(n-1) on the shared SimJobPool
+ * (LRS_JOBS workers). fn must write into slot i only; aggregate the
+ * slots serially afterwards, in index order, so tables and JSON come
+ * out byte-identical to a serial run — the pattern every converted
+ * bench follows (docs/PARALLELISM.md).
+ */
+inline void
+parallelSweep(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    SimJobPool::shared().forEach(n, fn);
+}
 
 } // namespace lrs::benchutil
 

@@ -61,17 +61,28 @@ main()
     JsonReport jr("fig04_pipeline_compare");
     std::vector<double> base_cycles;
 
-    for (const auto &ms : modes) {
+    // The whole (mode × trace) grid runs on the pool; slots are
+    // indexed by grid position so the serial aggregation below reads
+    // them in the original loop order (byte-identical output).
+    std::vector<SimResult> grid(modes.size() * traces.size());
+    parallelSweep(grid.size(), [&](std::size_t idx) {
+        const auto &ms = modes[idx / traces.size()];
+        const auto &tp = traces[idx % traces.size()];
+        auto trace = TraceLibrary::make(tp);
+        MachineConfig cfg;
+        cfg.scheme = OrderingScheme::Perfect;
+        cfg.bankMode = ms.mode;
+        cfg.bankPred = ms.pred;
+        grid[idx] = runSim(*trace, cfg);
+    });
+
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        const auto &ms = modes[m];
         double rel = 0.0;
         double conf = 0.0, mis = 0.0, rep = 0.0;
         std::size_t i = 0;
-        for (const auto &tp : traces) {
-            auto trace = TraceLibrary::make(tp);
-            MachineConfig cfg;
-            cfg.scheme = OrderingScheme::Perfect;
-            cfg.bankMode = ms.mode;
-            cfg.bankPred = ms.pred;
-            const SimResult r = runSim(*trace, cfg);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const SimResult &r = grid[m * traces.size() + ti];
             if (ms.mode == BankMode::TrueMultiPorted)
                 base_cycles.push_back(static_cast<double>(r.cycles));
             rel += base_cycles.at(i) / static_cast<double>(r.cycles);

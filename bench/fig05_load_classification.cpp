@@ -33,11 +33,26 @@ main()
 
     TextTable t({"group", "traces", "AC", "ANC", "no-conflict"});
     JsonReport jr("fig05_load_classification");
+
+    // Flatten the (group × trace) grid into pool jobs; per-group
+    // aggregation below walks the slots in the original order.
+    std::vector<std::vector<TraceParams>> group_traces;
+    std::vector<SimJob> jobs;
+    std::vector<std::size_t> first; // job id of each group's first
     for (const auto g : groups) {
+        first.push_back(jobs.size());
+        group_traces.push_back(groupTraces(g, 4));
+        for (const auto &tp : group_traces.back())
+            jobs.push_back({tp, cfg});
+    }
+    const auto outcomes = SimJobPool::shared().runJobs(jobs);
+
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto g = groups[gi];
+        const auto &traces = group_traces[gi];
         std::uint64_t ac = 0, anc = 0, nc = 0;
-        const auto traces = groupTraces(g, 4);
-        for (const auto &tp : traces) {
-            const SimResult r = runSim(tp, cfg);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const SimResult &r = outcomes[first[gi] + ti].result;
             ac += r.actuallyColliding();
             anc += r.ancPnc + r.ancPc;
             nc += r.notConflicting;

@@ -25,13 +25,25 @@ main()
 
     TextTable t({"window", "AC", "ANC", "no-conflict"});
     JsonReport jr("fig06_window_sweep");
+
+    // Submit the full (window × trace) grid, then aggregate the
+    // slots per window in the original loop order.
+    std::vector<SimJob> jobs;
     for (const int w : windows) {
         MachineConfig cfg;
         cfg.scheme = OrderingScheme::Traditional;
         cfg.schedWindow = w;
+        for (const auto &tp : traces)
+            jobs.push_back({tp, cfg});
+    }
+    const auto outcomes = SimJobPool::shared().runJobs(jobs);
+
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+        const int w = windows[wi];
         std::uint64_t ac = 0, anc = 0, nc = 0;
-        for (const auto &tp : traces) {
-            const SimResult r = runSim(tp, cfg);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const SimResult &r =
+                outcomes[wi * traces.size() + ti].result;
             ac += r.actuallyColliding();
             anc += r.ancPnc + r.ancPc;
             nc += r.notConflicting;

@@ -32,9 +32,18 @@ main()
     JsonReport jr("fig07_ordering_speedup");
     std::vector<std::vector<double>> per_scheme(5);
 
-    for (const auto &tp : traces) {
-        auto trace = TraceLibrary::make(tp);
-        const auto results = runAllSchemes(*trace, cfg);
+    // One pool job per trace (each job runs all six schemes; the
+    // nested runAllSchemes sweep runs inline inside the job); the
+    // per-trace slots are then aggregated in trace order.
+    std::vector<std::vector<SimResult>> all(traces.size());
+    parallelSweep(traces.size(), [&](std::size_t ti) {
+        auto trace = TraceLibrary::make(traces[ti]);
+        all[ti] = runAllSchemes(*trace, cfg);
+    });
+
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        const auto &tp = traces[ti];
+        const auto &results = all[ti];
         const SimResult &base = results[0]; // Traditional
         // runAllSchemes order: Trad, Opp, Post, Incl, Excl, Perfect.
         const double opp = results[1].speedupOver(base);

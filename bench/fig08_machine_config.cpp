@@ -55,24 +55,50 @@ main()
                  "Inclusive", "Exclusive", "Perfect"});
     JsonReport jr("fig08_machine_config");
 
+    // Gather the per-group trace subsets once, flatten the
+    // (group × width × trace) grid into pool jobs — each runs all
+    // six schemes — and aggregate the slots in the original order.
+    std::vector<std::vector<TraceParams>> group_traces;
     for (const auto &gs : groups) {
-        // Gather a small per-group trace subset.
         std::vector<TraceParams> traces;
         for (const auto g : gs.groups) {
             auto part = groupTraces(g, 2);
             traces.insert(traces.end(), part.begin(), part.end());
         }
+        group_traces.push_back(std::move(traces));
+    }
+
+    struct Cell
+    {
+        std::size_t gi, wi, ti;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+        for (std::size_t wi = 0; wi < widths.size(); ++wi)
+            for (std::size_t ti = 0; ti < group_traces[gi].size();
+                 ++ti)
+                cells.push_back({gi, wi, ti});
+
+    std::vector<std::vector<SimResult>> all(cells.size());
+    parallelSweep(cells.size(), [&](std::size_t idx) {
+        const Cell &c = cells[idx];
+        MachineConfig cfg;
+        cfg.cht = paperCht();
+        cfg.intUnits = widths[c.wi].intUnits;
+        cfg.memUnits = widths[c.wi].memUnits;
+        auto trace = TraceLibrary::make(group_traces[c.gi][c.ti]);
+        all[idx] = runAllSchemes(*trace, cfg);
+    });
+
+    std::size_t idx = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &gs = groups[gi];
+        const auto &traces = group_traces[gi];
 
         for (const auto &ws : widths) {
-            MachineConfig cfg;
-            cfg.cht = paperCht();
-            cfg.intUnits = ws.intUnits;
-            cfg.memUnits = ws.memUnits;
-
             std::vector<std::vector<double>> per_scheme(5);
-            for (const auto &tp : traces) {
-                auto trace = TraceLibrary::make(tp);
-                const auto results = runAllSchemes(*trace, cfg);
+            for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+                const auto &results = all[idx++];
                 const SimResult &base = results[0];
                 per_scheme[0].push_back(
                     results[2].speedupOver(base)); // Postponing

@@ -79,16 +79,28 @@ main()
     TextTable t({"config", "AC-PNC%c", "AC-PC%c", "ANC-PNC%c",
                  "ANC-PC%c", "ANC-PC%all", "AC-PNC%all"});
     JsonReport jr("fig09_cht_configs");
-    for (const auto &spec : specs()) {
+
+    // Submit the (CHT variant × trace) grid through the pool, then
+    // aggregate the slots per variant in the original order.
+    const auto variant_specs = specs();
+    std::vector<SimJob> jobs;
+    for (const auto &spec : variant_specs) {
         MachineConfig cfg;
         cfg.scheme = OrderingScheme::Traditional;
         cfg.chtShadow = true;
         cfg.cht = spec.params;
+        for (const auto &tp : traces)
+            jobs.push_back({tp, cfg});
+    }
+    const auto outcomes = SimJobPool::shared().runJobs(jobs);
 
+    for (std::size_t si = 0; si < variant_specs.size(); ++si) {
+        const auto &spec = variant_specs[si];
         std::uint64_t ac_pnc = 0, ac_pc = 0, anc_pnc = 0, anc_pc = 0;
         std::uint64_t loads = 0;
-        for (const auto &tp : traces) {
-            const SimResult r = runSim(tp, cfg);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const SimResult &r =
+                outcomes[si * traces.size() + ti].result;
             ac_pnc += r.acPnc;
             ac_pc += r.acPc;
             anc_pnc += r.ancPnc;

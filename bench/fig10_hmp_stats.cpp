@@ -48,18 +48,47 @@ main()
     TextTable t({"group", "predictor", "AH-PM", "AM-PM", "MISSES",
                  "coverage", "AMPM:AHPM"});
     JsonReport jr("fig10_hmp_stats");
+
+    // Flatten the (group × predictor × trace) analysis grid into
+    // pool jobs; aggregate the HmpStats slots in the original order.
+    const std::vector<const char *> preds = {"local", "chooser"};
+    std::vector<std::vector<TraceParams>> group_traces;
     for (const auto &gs : groups) {
         std::vector<TraceParams> traces;
         for (const auto g : gs.groups) {
             auto part = groupTraces(g, 3);
             traces.insert(traces.end(), part.begin(), part.end());
         }
-        for (const char *which : {"local", "chooser"}) {
+        group_traces.push_back(std::move(traces));
+    }
+
+    struct Cell
+    {
+        std::size_t gi, pi, ti;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+        for (std::size_t pi = 0; pi < preds.size(); ++pi)
+            for (std::size_t ti = 0; ti < group_traces[gi].size();
+                 ++ti)
+                cells.push_back({gi, pi, ti});
+
+    std::vector<HmpStats> slots(cells.size());
+    parallelSweep(cells.size(), [&](std::size_t idx) {
+        const Cell &c = cells[idx];
+        auto trace = TraceLibrary::make(group_traces[c.gi][c.ti]);
+        auto hmp = makeHmp(preds[c.pi]);
+        slots[idx] = analyzeHitMiss(*trace, *hmp);
+    });
+
+    std::size_t idx = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &gs = groups[gi];
+        const auto &traces = group_traces[gi];
+        for (const char *which : preds) {
             HmpStats agg;
-            for (const auto &tp : traces) {
-                auto trace = TraceLibrary::make(tp);
-                auto hmp = makeHmp(which);
-                const HmpStats st = analyzeHitMiss(*trace, *hmp);
+            for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+                const HmpStats &st = slots[idx++];
                 agg.loads += st.loads;
                 agg.misses += st.misses;
                 agg.ahPh += st.ahPh;

@@ -38,8 +38,13 @@ main()
     for (const auto &[label, g] : groups) {
         const auto traces = groupTraces(g, 4);
         std::vector<std::vector<double>> per_kind(kinds.size());
-        for (const auto &tp : traces) {
-            auto trace = TraceLibrary::make(tp);
+
+        // One pool job per trace: the no-HMP baseline plus every
+        // predictor kind over the same generated trace. Speedups
+        // land in per-trace slots and are folded in trace order.
+        std::vector<std::vector<double>> slots(traces.size());
+        parallelSweep(traces.size(), [&](std::size_t ti) {
+            auto trace = TraceLibrary::make(traces[ti]);
 
             MachineConfig cfg;
             cfg.scheme = OrderingScheme::Perfect;
@@ -51,7 +56,12 @@ main()
             for (std::size_t k = 0; k < kinds.size(); ++k) {
                 cfg.hmp = kinds[k];
                 const SimResult r = runSim(*trace, cfg);
-                const double s = r.speedupOver(base);
+                slots[ti].push_back(r.speedupOver(base));
+            }
+        });
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            for (std::size_t k = 0; k < kinds.size(); ++k) {
+                const double s = slots[ti][k];
                 per_kind[k].push_back(s);
                 overall[k].push_back(s);
             }

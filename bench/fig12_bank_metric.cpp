@@ -23,9 +23,13 @@ namespace
 BankStats
 runGroup(TraceGroup g, const char *which)
 {
-    BankStats agg;
-    for (const auto &tp : groupTraces(g, 4)) {
-        auto trace = TraceLibrary::make(tp);
+    // Analyse each trace of the group as one pool job; fold the
+    // per-trace slots in trace order (byte-identical to the old
+    // serial loop).
+    const auto traces = groupTraces(g, 4);
+    std::vector<BankStats> slots(traces.size());
+    parallelSweep(traces.size(), [&](std::size_t ti) {
+        auto trace = TraceLibrary::make(traces[ti]);
         std::unique_ptr<BankPredictor> pred;
         if (std::string(which) == "A")
             pred = makeBankPredictorA();
@@ -35,7 +39,10 @@ runGroup(TraceGroup g, const char *which)
             pred = makeBankPredictorC();
         else
             pred = makeAddressBankPredictor();
-        const BankStats st = analyzeBank(*trace, *pred);
+        slots[ti] = analyzeBank(*trace, *pred);
+    });
+    BankStats agg;
+    for (const BankStats &st : slots) {
         agg.loads += st.loads;
         agg.predicted += st.predicted;
         agg.correct += st.correct;

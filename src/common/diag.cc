@@ -19,6 +19,7 @@ diagCodeName(DiagCode code)
       case DiagCode::IoOpenFailed:        return "E_IO_OPEN_FAILED";
       case DiagCode::IoWriteFailed:       return "E_IO_WRITE_FAILED";
       case DiagCode::AuditViolation:      return "E_AUDIT_VIOLATION";
+      case DiagCode::DataInvalid:         return "E_DATA_INVALID";
       case DiagCode::Internal:            return "E_INTERNAL";
     }
     return "E_UNKNOWN";

@@ -48,6 +48,7 @@ enum class DiagCode : std::uint8_t
     IoOpenFailed,        ///< cannot open a file
     IoWriteFailed,       ///< write/flush failed
     AuditViolation,      ///< a structural invariant does not hold
+    DataInvalid,         ///< a result/aggregation value is unusable
     Internal,            ///< should-not-happen simulator defect
 };
 

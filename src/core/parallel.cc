@@ -1,0 +1,224 @@
+#include "core/parallel.hh"
+
+#include "core/core.hh"
+#include "core/runner.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+
+namespace
+{
+
+/**
+ * Set while this thread is executing a pool job (including the
+ * calling thread during its worker-0 participation). A nested
+ * forEach() under this flag runs inline: the jobs of the outer batch
+ * are already spread across the pool, and blocking a worker on a
+ * second batch would deadlock the pool against itself.
+ */
+thread_local bool tlInPoolJob = false;
+
+} // namespace
+
+SimJobPool::SimJobPool(unsigned workers)
+    : workers_(workers ? workers : configuredWorkers())
+{
+    if (workers_ < 1)
+        workers_ = 1;
+    queues_.reserve(workers_);
+    for (unsigned i = 0; i < workers_; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    // The caller is worker 0; only the rest need threads.
+    threads_.reserve(workers_ - 1);
+    for (unsigned i = 1; i < workers_; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+SimJobPool::~SimJobPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stopping_ = true;
+    }
+    cvWork_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+unsigned
+SimJobPool::configuredWorkers()
+{
+    const std::uint64_t env = envU64("LRS_JOBS", 0);
+    if (env > 0) {
+        // Cap well above any plausible machine; a typo'd huge value
+        // must not try to spawn millions of threads.
+        return static_cast<unsigned>(env > 1024 ? 1024 : env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SimJobPool &
+SimJobPool::shared()
+{
+    static SimJobPool pool;
+    return pool;
+}
+
+bool
+SimJobPool::popJob(unsigned self, std::uint64_t epoch, std::size_t &id)
+{
+    {
+        WorkerQueue &own = *queues_[self];
+        std::lock_guard<std::mutex> lk(own.m);
+        if (!own.jobs.empty() && own.jobs.front().epoch == epoch) {
+            id = own.jobs.front().id;
+            own.jobs.pop_front();
+            return true;
+        }
+    }
+    // Own deque drained: steal from the back of a sibling's. The
+    // epoch tag refuses entries of any other batch (see QueuedJob).
+    for (unsigned k = 1; k < workers_; ++k) {
+        WorkerQueue &victim = *queues_[(self + k) % workers_];
+        std::lock_guard<std::mutex> lk(victim.m);
+        if (!victim.jobs.empty() &&
+            victim.jobs.back().epoch == epoch) {
+            id = victim.jobs.back().id;
+            victim.jobs.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SimJobPool::runJob(Batch &b, std::size_t id)
+{
+    const bool nested = tlInPoolJob;
+    tlInPoolJob = true;
+    std::exception_ptr err;
+    try {
+        (*b.fn)(id);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    tlInPoolJob = nested;
+
+    std::lock_guard<std::mutex> lk(m_);
+    if (err && !b.firstError)
+        b.firstError = err;
+    if (--b.pending == 0)
+        cvDone_.notify_all();
+}
+
+void
+SimJobPool::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Batch *b = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvWork_.wait(lk, [&] {
+                return stopping_ || (batch_ && epoch_ != seen);
+            });
+            if (stopping_)
+                return;
+            seen = epoch_;
+            b = batch_;
+        }
+        std::size_t id;
+        while (popJob(self, seen, id))
+            runJob(*b, id);
+        // Queues drained for this batch (jobs may still be running on
+        // other workers); sleep until the next batch is published.
+    }
+}
+
+void
+SimJobPool::forEach(std::size_t n,
+                    const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_ == 1 || n == 1 || tlInPoolJob) {
+        // Inline serial path; match the parallel contract: run every
+        // job, then rethrow the first failure.
+        std::exception_ptr first;
+        const bool nested = tlInPoolJob;
+        tlInPoolJob = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        tlInPoolJob = nested;
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    std::lock_guard<std::mutex> caller(callerM_);
+
+    Batch b;
+    b.fn = &fn;
+    b.pending = n;
+
+    std::uint64_t epoch;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        epoch = epoch_ + 1;
+    }
+    // Deal job ids round-robin so every worker starts with a spread
+    // of the grid; stealing rebalances whatever the deal got wrong.
+    for (unsigned w = 0; w < workers_; ++w) {
+        WorkerQueue &q = *queues_[w];
+        std::lock_guard<std::mutex> lk(q.m);
+        for (std::size_t id = w; id < n; id += workers_)
+            q.jobs.push_back({epoch, id});
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        batch_ = &b;
+        epoch_ = epoch;
+    }
+    cvWork_.notify_all();
+
+    // Participate as worker 0.
+    std::size_t id;
+    while (popJob(0, epoch, id))
+        runJob(b, id);
+
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cvDone_.wait(lk, [&] { return b.pending == 0; });
+        batch_ = nullptr;
+    }
+    if (b.firstError)
+        std::rethrow_exception(b.firstError);
+}
+
+std::vector<JobOutcome>
+SimJobPool::runJobs(const std::vector<SimJob> &jobs)
+{
+    std::vector<JobOutcome> out(jobs.size());
+    forEach(jobs.size(), [&](std::size_t i) {
+        JobOutcome &o = out[i];
+        try {
+            auto trace = TraceLibrary::make(jobs[i].trace);
+            OooCore core(jobs[i].cfg);
+            o.result = core.run(*trace);
+        } catch (const std::exception &e) {
+            o.failed = true;
+            o.error = e.what();
+        }
+    });
+    return out;
+}
+
+} // namespace lrs

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine.
+ *
+ * Every results figure and ablation runs a grid of
+ * (trace × machine-config) simulations, and each simulation job is
+ * pure: the trace generator flows from a per-trace seed, the core
+ * holds no global mutable state, and the result is a value. That
+ * shape is embarrassingly parallel, so SimJobPool shards an arbitrary
+ * job grid across worker threads while keeping the aggregate output
+ * **bit-identical to a serial run regardless of worker count or
+ * completion order**:
+ *
+ *  - every job gets a slot indexed by its submission order (job id);
+ *    workers write results into their slot, never append by finish
+ *    time;
+ *  - jobs share nothing: each job generates (or copies) its own
+ *    trace stream and constructs its own OooCore, whose
+ *    StatsRegistry / fault / trace accounting are per-instance;
+ *  - aggregation (means, speedups, JSON rows) happens after the
+ *    barrier, in job-id order — the same floating-point evaluation
+ *    order as the serial loop it replaced.
+ *
+ * Scheduling is work stealing: job ids are dealt round-robin into
+ * per-worker deques; a worker pops from the front of its own deque
+ * and, when empty, steals from the back of a sibling's. The calling
+ * thread participates as worker 0, so a pool with one worker runs
+ * everything inline on the caller (and spawns no threads at all).
+ *
+ * Worker count: explicit constructor argument, else the LRS_JOBS
+ * environment variable, else std::thread::hardware_concurrency().
+ * Nested forEach() calls from inside a job run inline on that worker
+ * — runAllSchemes() can therefore be parallelised internally and
+ * still be submitted as a job itself without deadlock.
+ *
+ * See docs/PARALLELISM.md for the determinism contract and usage.
+ */
+
+#ifndef LRS_CORE_PARALLEL_HH
+#define LRS_CORE_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/results.hh"
+#include "trace/params.hh"
+
+namespace lrs
+{
+
+/** One cell of a sweep grid: generate the trace, run the machine. */
+struct SimJob
+{
+    TraceParams trace;
+    MachineConfig cfg;
+};
+
+/**
+ * Result slot of one job. A job that throws (bad config, malformed
+ * trace) marks its own slot failed with the diagnostic text; sibling
+ * jobs are unaffected.
+ */
+struct JobOutcome
+{
+    SimResult result;
+    bool failed = false;
+    std::string error; ///< exception text when failed
+};
+
+class SimJobPool
+{
+  public:
+    /**
+     * @p workers 0 selects the configured default (LRS_JOBS env var,
+     * else hardware concurrency). One worker means fully inline
+     * serial execution; N workers spawn N-1 threads (the caller is
+     * worker 0).
+     */
+    explicit SimJobPool(unsigned workers = 0);
+    ~SimJobPool();
+
+    SimJobPool(const SimJobPool &) = delete;
+    SimJobPool &operator=(const SimJobPool &) = delete;
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Run fn(0) .. fn(n-1) across the workers and block until all
+     * complete. fn must write its output into a slot owned by its
+     * index — never append to shared state — for deterministic
+     * aggregation. If any invocation throws, every remaining job
+     * still runs and the first exception (by completion time, which
+     * is only used for propagation, not for results) is rethrown
+     * here. Reentrant: called from inside a job it runs inline.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Run a (TraceParams, MachineConfig) grid: each job generates its
+     * trace and runs one OooCore; outcomes are indexed by job id.
+     * Exceptions are captured per job (JobOutcome::failed).
+     */
+    std::vector<JobOutcome> runJobs(const std::vector<SimJob> &jobs);
+
+    /** LRS_JOBS if set and nonzero, else hardware concurrency. */
+    static unsigned configuredWorkers();
+
+    /**
+     * Process-wide pool used by runAllSchemes() and the benches.
+     * Sized by configuredWorkers() at first use.
+     */
+    static SimJobPool &shared();
+
+  private:
+    /**
+     * One queued job: the id plus the epoch of the batch it belongs
+     * to. The tag is what makes a slow-waking worker safe: it can
+     * only pop entries matching the batch it is working on, so a
+     * thread still draining after batch k completed can never grab a
+     * job published by batch k+1 and run it against a dead Batch.
+     */
+    struct QueuedJob
+    {
+        std::uint64_t epoch;
+        std::size_t id;
+    };
+
+    /** Per-worker deque; own pops front, thieves pop back. */
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<QueuedJob> jobs;
+    };
+
+    /** One forEach() invocation in flight. */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t pending = 0;          ///< guarded by pool m_
+        std::exception_ptr firstError;    ///< guarded by pool m_
+    };
+
+    void workerLoop(unsigned self);
+    bool popJob(unsigned self, std::uint64_t epoch, std::size_t &id);
+    void runJob(Batch &b, std::size_t id);
+
+    unsigned workers_ = 1;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex callerM_; ///< serialises concurrent forEach() callers
+
+    std::mutex m_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    Batch *batch_ = nullptr;    ///< active batch, or null
+    std::uint64_t epoch_ = 0;   ///< bumped per published batch
+    bool stopping_ = false;
+};
+
+} // namespace lrs
+
+#endif // LRS_CORE_PARALLEL_HH

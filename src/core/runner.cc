@@ -1,8 +1,12 @@
 #include "core/runner.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/diag.hh"
+#include "core/parallel.hh"
 
 namespace lrs
 {
@@ -35,23 +39,47 @@ allSchemes()
 std::vector<SimResult>
 runAllSchemes(VecTrace &trace, MachineConfig cfg)
 {
-    std::vector<SimResult> out;
-    for (const auto scheme : allSchemes()) {
-        cfg.scheme = scheme;
-        out.push_back(runSim(trace, cfg));
-    }
+    const auto &schemes = allSchemes();
+    std::vector<SimResult> out(schemes.size());
+    // One job per scheme through the shared pool; each job runs an
+    // independent machine over a private cursor on the same uops, and
+    // writes its slot, so the vector is identical to the serial loop
+    // no matter how many workers ran it (or whether this call was
+    // itself a pool job, in which case it runs inline).
+    SimJobPool::shared().forEach(schemes.size(), [&](std::size_t i) {
+        MachineConfig c = cfg;
+        c.scheme = schemes[i];
+        VecTrace local(trace.name(), trace.uops());
+        out[i] = runSim(local, c);
+    });
     return out;
 }
 
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double acc = 0.0;
-    for (double v : values)
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double v = values[i];
+        // log() of zero or a negative value (a crashed scheme's 0.0
+        // "speedup", or NaN from an unran baseline) would silently
+        // poison the whole mean with -inf/NaN; skip it and say so.
+        if (!(v > 0.0)) {
+            const Diag d = makeDiag(
+                DiagCode::DataInvalid, "core.runner", "geomean",
+                "skipping non-positive value " + std::to_string(v) +
+                    " (element " + std::to_string(i) + " of " +
+                    std::to_string(values.size()) + ")");
+            std::fprintf(stderr, "warning: %s\n", d.toString().c_str());
+            continue;
+        }
         acc += std::log(v);
-    return std::exp(acc / static_cast<double>(values.size()));
+        ++counted;
+    }
+    if (counted == 0)
+        return 0.0;
+    return std::exp(acc / static_cast<double>(counted));
 }
 
 std::uint64_t
@@ -61,11 +89,14 @@ envU64(const char *name, std::uint64_t fallback)
     if (!s || !*s)
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0') {
-        // An override that was set but cannot be parsed is almost
-        // certainly a typo'd experiment; silently running with the
-        // default would fake a result. Warn once per lookup.
+    // An override that was set but cannot be parsed — or one so large
+    // that strtoull clamped it to ULLONG_MAX (ERANGE), or a negative
+    // that it would silently wrap — is almost certainly a typo'd
+    // experiment; silently running with anything else would fake a
+    // result. Warn once per lookup.
+    if (end == s || *end != '\0' || errno == ERANGE || s[0] == '-') {
         std::fprintf(stderr,
                      "warning: ignoring unparsable %s=\"%s\" "
                      "(using %llu)\n",

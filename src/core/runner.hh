@@ -26,7 +26,10 @@ SimResult runSim(const TraceParams &params, const MachineConfig &cfg);
 
 /**
  * Run one trace under every ordering scheme (I-VI) with a shared
- * machine configuration; returns results in scheme order.
+ * machine configuration; returns results in scheme order. The
+ * schemes run concurrently on the shared SimJobPool (honouring
+ * LRS_JOBS); the returned vector is bit-identical to a serial loop
+ * regardless of worker count — see docs/PARALLELISM.md.
  */
 std::vector<SimResult> runAllSchemes(VecTrace &trace,
                                      MachineConfig cfg);
@@ -34,16 +37,25 @@ std::vector<SimResult> runAllSchemes(VecTrace &trace,
 /** The scheme order used by runAllSchemes(). */
 const std::vector<OrderingScheme> &allSchemes();
 
-/** Geometric mean of speedups (each vs its own baseline). */
+/**
+ * Geometric mean of speedups (each vs its own baseline). Zero,
+ * negative or NaN values (a crashed scheme yields 0.0; an unran
+ * baseline yields NaN) cannot enter a log-mean and would otherwise
+ * poison it silently; they are skipped with a one-line E_DATA_INVALID
+ * warning on stderr naming the offending value. Returns 0.0 when no
+ * usable value remains.
+ */
 double geomean(const std::vector<double> &values);
 
 /**
  * Read an unsigned integer environment override, e.g. the trace
  * length knob LRS_TRACE_LEN used by all benches. Returns @p fallback
  * when unset; when the variable is set but not fully parsable as a
- * decimal integer, a one-line warning goes to stderr and @p fallback
- * is returned (a silently ignored override would fake experiment
- * results).
+ * decimal integer — including values beyond 2^64-1, which strtoull
+ * would otherwise silently clamp to ULLONG_MAX (ERANGE), and
+ * negatives, which it would wrap — a one-line warning goes to stderr
+ * and @p fallback is returned (a silently ignored or mangled override
+ * would fake experiment results).
  */
 std::uint64_t envU64(const char *name, std::uint64_t fallback);
 

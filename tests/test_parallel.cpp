@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests of the parallel sweep engine (core/parallel.hh) and the
+ * aggregation-layer fixes that rode along with it: the pool's
+ * determinism contract (bit-identical results for any worker count),
+ * its edge cases (empty batches, more workers than jobs, throwing
+ * jobs, nesting), and the hardened geomean()/envU64()/JsonReport
+ * paths. Suite names start with "Parallel" so the whole group runs
+ * under `ctest -R Parallel` (tools/run_sanitized.sh --tsan uses
+ * this).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "core/runner.hh"
+#include "trace/library.hh"
+
+#include "../bench/bench_util.hh"
+
+namespace lrs
+{
+namespace
+{
+
+TEST(Parallel, ForEachRunsEveryIndexExactlyOnce)
+{
+    SimJobPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+
+    constexpr std::size_t kN = 257; // not a multiple of the workers
+    std::vector<std::atomic<int>> hits(kN);
+    pool.forEach(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ZeroJobsIsANoop)
+{
+    SimJobPool pool(4);
+    bool called = false;
+    pool.forEach(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+    EXPECT_TRUE(pool.runJobs({}).empty());
+}
+
+TEST(Parallel, MoreWorkersThanJobs)
+{
+    SimJobPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.forEach(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, RepeatedBatchesOnOnePool)
+{
+    // Regression guard for batch-epoch confusion: a worker waking
+    // late from batch k must never run ids against batch k+1.
+    SimJobPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t n = 1 + static_cast<std::size_t>(round) % 7;
+        std::atomic<std::size_t> ran{0};
+        pool.forEach(n, [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), n) << "round " << round;
+    }
+}
+
+TEST(Parallel, NestedForEachRunsInline)
+{
+    // Benches parallelise their outer loop; runAllSchemes() inside a
+    // job must fall back to inline execution instead of deadlocking
+    // on the shared pool.
+    SimJobPool pool(4);
+    std::vector<std::atomic<int>> hits(16);
+    pool.forEach(4, [&](std::size_t outer) {
+        SimJobPool::shared().forEach(4, [&](std::size_t inner) {
+            hits[outer * 4 + inner].fetch_add(1);
+        });
+    });
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+}
+
+TEST(Parallel, ForEachPropagatesExceptionAfterAllJobsRan)
+{
+    SimJobPool pool(4);
+    std::atomic<std::size_t> ran{0};
+    const auto body = [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 3)
+            throw std::runtime_error("job 3 exploded");
+    };
+    EXPECT_THROW(pool.forEach(8, body), std::runtime_error);
+    // One failure poisons the batch's result, not its siblings: every
+    // job still ran.
+    EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST(Parallel, ConfiguredWorkersHonorsLrsJobs)
+{
+    setenv("LRS_JOBS", "5", 1);
+    EXPECT_EQ(SimJobPool::configuredWorkers(), 5u);
+    setenv("LRS_JOBS", "0", 1);
+    EXPECT_GE(SimJobPool::configuredWorkers(), 1u);
+    unsetenv("LRS_JOBS");
+    EXPECT_GE(SimJobPool::configuredWorkers(), 1u);
+}
+
+/** fig07-shaped grid: every trace crossed with every scheme. */
+std::vector<SimJob>
+fig07Grid()
+{
+    std::vector<SimJob> jobs;
+    for (const char *name : {"wd", "gcc"}) {
+        for (const auto scheme : allSchemes()) {
+            SimJob j;
+            j.trace = TraceLibrary::byName(name, 20000);
+            j.cfg.scheme = scheme;
+            j.cfg.cht.trackDistance = true;
+            jobs.push_back(j);
+        }
+    }
+    return jobs;
+}
+
+std::string
+dumpOutcomes(const std::vector<JobOutcome> &outcomes)
+{
+    std::ostringstream os;
+    for (const auto &o : outcomes) {
+        EXPECT_FALSE(o.failed) << o.error;
+        os << o.result.toJson().dump(2) << "\n";
+    }
+    return os.str();
+}
+
+TEST(Parallel, RunJobsBitIdenticalForAnyWorkerCount)
+{
+    const auto jobs = fig07Grid();
+
+    // Serial reference: the exact loop the benches ran before the
+    // pool existed.
+    std::ostringstream serial;
+    for (const auto &j : jobs) {
+        const auto trace = TraceLibrary::make(j.trace);
+        serial << runSim(*trace, j.cfg).toJson().dump(2) << "\n";
+    }
+
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        SimJobPool pool(workers);
+        EXPECT_EQ(dumpOutcomes(pool.runJobs(jobs)), serial.str())
+            << "workers=" << workers;
+    }
+}
+
+TEST(Parallel, ThrowingJobFailsItsSlotOnly)
+{
+    auto jobs = fig07Grid();
+    jobs[2].cfg.intUnits = 0; // rejected by MachineConfig::validate()
+
+    SimJobPool pool(4);
+    const auto outcomes = pool.runJobs(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i == 2) {
+            EXPECT_TRUE(outcomes[i].failed);
+            EXPECT_NE(outcomes[i].error.find("int_units"),
+                      std::string::npos)
+                << outcomes[i].error;
+        } else {
+            EXPECT_FALSE(outcomes[i].failed) << outcomes[i].error;
+            EXPECT_GT(outcomes[i].result.cycles, 0u);
+        }
+    }
+}
+
+TEST(ParallelRunnerFixes, GeomeanSkipsNonPositiveValues)
+{
+    // The old fold took log() of whatever it was given, so a single
+    // zero/negative speedup poisoned a whole figure with NaN.
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({-2.0, 0.0, 9.0}), 9.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_FALSE(std::isnan(geomean({0.0, 2.0})));
+}
+
+TEST(ParallelRunnerFixes, EnvU64RejectsOverflowAndNegatives)
+{
+    // 2^64 and beyond: strtoull clamps and sets ERANGE; the old code
+    // silently returned ULLONG_MAX.
+    setenv("LRS_TEST_ENV_KNOB", "18446744073709551616", 1);
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), 7u);
+    setenv("LRS_TEST_ENV_KNOB", "99999999999999999999999", 1);
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), 7u);
+    // strtoull accepts "-5" by wrapping it; we reject it.
+    setenv("LRS_TEST_ENV_KNOB", "-5", 1);
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), 7u);
+    // The largest representable value still parses.
+    setenv("LRS_TEST_ENV_KNOB", "18446744073709551615", 1);
+    EXPECT_EQ(envU64("LRS_TEST_ENV_KNOB", 7), UINT64_MAX);
+    unsetenv("LRS_TEST_ENV_KNOB");
+}
+
+TEST(ParallelJsonReport, WritesAtomicallyToEnvPath)
+{
+    const std::string path =
+        testing::TempDir() + "lrs_test_report.json";
+    std::remove(path.c_str());
+    setenv("LRS_BENCH_JSON", path.c_str(), 1);
+
+    benchutil::JsonReport rep("unit");
+    rep.beginRow();
+    rep.value("k", 1.5);
+    EXPECT_EQ(rep.write(), path);
+    unsetenv("LRS_BENCH_JSON");
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_NE(ss.str().find("\"bench\": \"unit\""),
+              std::string::npos);
+    EXPECT_NE(ss.str().find("\"k\": 1.5"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ParallelJsonReport, DirectoryPathIsAnError)
+{
+    // A directory target used to fail only after the stream silently
+    // wrote nothing; now it is rejected up front.
+    setenv("LRS_BENCH_JSON", testing::TempDir().c_str(), 1);
+    benchutil::JsonReport rep("unit");
+    rep.beginRow();
+    rep.value("k", 1.0);
+    EXPECT_THROW(rep.write(), std::runtime_error);
+    unsetenv("LRS_BENCH_JSON");
+}
+
+} // namespace
+} // namespace lrs

@@ -5,12 +5,15 @@
 # Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_FILE]
 #
 #   BUILD_DIR  where the bench binaries live (default: build/bench)
-#   OUT_FILE   aggregate output (default: BENCH_1.json)
+#   OUT_FILE   aggregate output (default: BENCH_2.json)
 #
 # Environment:
 #   LRS_TRACE_LEN  uops per trace passed through to the benches
 #                  (default here: 40000, kept small so the sweep
 #                  finishes in seconds; raise for fidelity)
+#   LRS_JOBS       sweep-pool workers per bench (default: hardware
+#                  concurrency; see docs/PARALLELISM.md). Output is
+#                  bit-identical for any value.
 #
 # Each bench writes {"bench":..., "trace_len":..., "rows":[...]} to
 # $LRS_BENCH_JSON (see bench/bench_util.hh). This script points that
@@ -21,7 +24,7 @@
 set -eu
 
 BUILD_DIR=${1:-build/bench}
-OUT=${2:-BENCH_1.json}
+OUT=${2:-BENCH_2.json}
 : "${LRS_TRACE_LEN:=40000}"
 export LRS_TRACE_LEN
 

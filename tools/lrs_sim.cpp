@@ -28,6 +28,7 @@
 #include "common/json.hh"
 #include "common/stats.hh"
 #include "core/config_io.hh"
+#include "core/parallel.hh"
 #include "core/runner.hh"
 #include "core/tracer.hh"
 #include "trace/serialize.hh"
@@ -74,6 +75,17 @@ usage(FILE *out, int code, const char *argv0)
         "and exit\n"
         "  --compare-schemes     run all ordering schemes and report "
         "speedups\n"
+        "  --batch PATH          run a (traces x schemes) grid from a "
+        "grid file\n"
+        "                        (keys: traces, schemes, len, jobs; "
+        "any other\n"
+        "                        \"key = value\" line is the shared "
+        "machine config)\n"
+        "  --jobs N              worker threads for --batch and "
+        "--compare-schemes\n"
+        "                        (default: LRS_JOBS, else hardware "
+        "concurrency;\n"
+        "                        results are identical for any N)\n"
         "  --dump-trace PATH     write the generated trace and exit\n"
         "  --json PATH           write the result (all counters, "
         "interval series,\n"
@@ -213,6 +225,179 @@ emitJson(const std::string &path, const json::Value &doc)
 }
 
 /**
+ * A --batch grid file: the cross product of `traces` and `schemes`,
+ * every cell simulated under one shared machine configuration.
+ *
+ *   traces  = wd gcc swim
+ *   schemes = traditional, exclusive, perfect
+ *   len     = 200000
+ *   jobs    = 4               # optional; --jobs wins over this
+ *   sched_window = 64         # any machineConfigFromIni() key
+ */
+struct BatchGrid
+{
+    std::vector<std::string> traces;
+    std::vector<OrderingScheme> schemes;
+    std::uint64_t len = 200000;
+    unsigned jobs = 0;
+    MachineConfig base;
+};
+
+/** Split a grid-file list value on commas and whitespace. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ',' || c == ' ' || c == '\t') {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+BatchGrid
+parseBatchGrid(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                               "batch", "cannot open " + path));
+    }
+    BatchGrid grid;
+    std::ostringstream cfg_lines;
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string text = line;
+        if (const auto hash = text.find_first_of("#;");
+            hash != std::string::npos)
+            text.erase(hash);
+        const auto eq = text.find('=');
+        if (eq == std::string::npos) {
+            if (text.find_first_not_of(" \t\r") != std::string::npos)
+                cfg_lines << line << '\n'; // let the config parser
+                                           // report the syntax error
+            continue;
+        }
+        auto trim = [](std::string s) {
+            const auto b = s.find_first_not_of(" \t\r");
+            if (b == std::string::npos)
+                return std::string();
+            const auto e = s.find_last_not_of(" \t\r");
+            return s.substr(b, e - b + 1);
+        };
+        const std::string key = trim(text.substr(0, eq));
+        const std::string value = trim(text.substr(eq + 1));
+        if (key == "traces") {
+            grid.traces = splitList(value);
+        } else if (key == "schemes") {
+            for (const auto &name : splitList(value))
+                grid.schemes.push_back(parseOrderingScheme(name));
+        } else if (key == "len") {
+            grid.len = std::stoull(value);
+        } else if (key == "jobs") {
+            grid.jobs = static_cast<unsigned>(std::stoul(value));
+        } else {
+            cfg_lines << line << '\n';
+        }
+    }
+    std::istringstream cfg_is(cfg_lines.str());
+    grid.base = machineConfigFromIni(cfg_is, grid.base);
+    if (grid.traces.empty()) {
+        throw ConfigError(makeDiag(DiagCode::ConfigInvalid, "lrs_sim",
+                                   "batch",
+                                   "grid file names no traces: " +
+                                       path));
+    }
+    if (grid.schemes.empty())
+        grid.schemes = allSchemes();
+    return grid;
+}
+
+/**
+ * Run a batch grid through a dedicated job pool and print one table
+ * row per (trace, scheme) cell, in grid order regardless of worker
+ * count. Returns kExitRuntime if any cell failed.
+ */
+int
+runBatch(const std::string &path, unsigned jobs_flag,
+         const std::string &json_path)
+{
+    BatchGrid grid = parseBatchGrid(path);
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(grid.traces.size() * grid.schemes.size());
+    for (const auto &name : grid.traces) {
+        TraceParams tp;
+        try {
+            tp = TraceLibrary::byName(name, grid.len);
+        } catch (const std::invalid_argument &e) {
+            throw ConfigError(makeDiag(DiagCode::ConfigInvalid,
+                                       "lrs_sim", "batch", e.what()));
+        }
+        for (const auto scheme : grid.schemes) {
+            SimJob job;
+            job.trace = tp;
+            job.cfg = grid.base;
+            job.cfg.scheme = scheme;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    SimJobPool pool(jobs_flag ? jobs_flag : grid.jobs);
+    const std::vector<JobOutcome> outcomes = pool.runJobs(jobs);
+
+    bool any_failed = false;
+    TextTable t({"trace", "scheme", "cycles", "IPC", "speedup"});
+    json::Value rows = json::Value::array();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const JobOutcome &o = outcomes[i];
+        const std::string &trace = grid.traces[i / grid.schemes.size()];
+        const char *scheme =
+            orderingSchemeName(grid.schemes[i % grid.schemes.size()]);
+        t.startRow();
+        t.cell(trace);
+        t.cell(scheme);
+        if (o.failed) {
+            any_failed = true;
+            std::fprintf(stderr,
+                         "batch cell (%s, %s) failed:\n%s\n", // -
+                         trace.c_str(), scheme, o.error.c_str());
+            t.cell("FAILED");
+            t.cell("-");
+            t.cell("-");
+            continue;
+        }
+        // Speedup is against the first scheme of the same trace (the
+        // grid's baseline column), matching --compare-schemes.
+        const JobOutcome &base =
+            outcomes[(i / grid.schemes.size()) * grid.schemes.size()];
+        t.cell(strprintf(
+            "%llu", static_cast<unsigned long long>(o.result.cycles)));
+        t.cell(o.result.ipc(), 2);
+        if (base.failed)
+            t.cell("-");
+        else
+            t.cell(o.result.speedupOver(base.result), 3);
+        rows.push(o.result.toJson());
+    }
+    t.print(json_path == "-" ? std::cerr : std::cout);
+    if (!json_path.empty()) {
+        json::Value doc = json::Value::object();
+        doc.set("grid", std::move(rows));
+        emitJson(json_path, doc);
+    }
+    return any_failed ? kExitRuntime : kExitOk;
+}
+
+/**
  * Push the trace through the fault injector at the serialized-bytes
  * level (header protected) and read it back in recovery mode — the
  * end-to-end graceful-degradation path.
@@ -246,6 +431,8 @@ main(int argc, char **argv)
     std::string trace_events_path;
     std::uint64_t trace_buf = PipelineTracer::kDefaultCapacity;
     std::uint64_t len = 200000;
+    unsigned jobs_flag = 0;
+    std::string batch_path;
     bool compare = false;
     bool inject_trace_faults = false;
     TraceReadOptions read_opts;
@@ -290,6 +477,9 @@ main(int argc, char **argv)
                 return kExitOk;
             }
             else if (a == "--compare-schemes") compare = true;
+            else if (a == "--batch") batch_path = next();
+            else if (a == "--jobs")
+                jobs_flag = static_cast<unsigned>(std::stoul(next()));
             else if (a == "--dump-trace") dump_path = next();
             else if (a == "--json") json_path = next();
             else if (a == "--stats-interval")
@@ -324,6 +514,13 @@ main(int argc, char **argv)
                 usage(stderr, kExitUsage, argv[0]);
             }
         }
+        // --jobs also sizes the lazily-created shared pool behind
+        // runAllSchemes (used by --compare-schemes).
+        if (jobs_flag)
+            ::setenv("LRS_JOBS", std::to_string(jobs_flag).c_str(), 1);
+        if (!batch_path.empty())
+            return runBatch(batch_path, jobs_flag, json_path);
+
         if (inject_trace_faults && fault_cfg.traceRate <= 0.0)
             fault_cfg.traceRate = 0.01;
 

@@ -1,24 +1,54 @@
 #!/usr/bin/env sh
-# Build the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
-# run the tier-1 test suite under them. Any sanitizer report fails the
-# run (halt_on_error / abort) so CI and humans cannot miss it.
+# Build the tree under sanitizers and run the tier-1 test suite with
+# them armed. Any sanitizer report fails the run (halt_on_error /
+# abort) so CI and humans cannot miss it.
 #
-# Usage: tools/run_sanitized.sh [build-dir] [extra ctest args...]
-#   default build dir: build-san (kept separate from the normal build)
+# Modes:
+#   default   AddressSanitizer + UndefinedBehaviorSanitizer over the
+#             full suite
+#   --tsan    ThreadSanitizer (mutually exclusive with ASan) over the
+#             parallel sweep engine tests (ctest -R Parallel) — the
+#             data-race check for core/parallel.hh and the pool-driven
+#             benches (docs/PARALLELISM.md)
+#
+# Usage: tools/run_sanitized.sh [--tsan] [build-dir] [extra ctest args...]
+#   default build dirs: build-san / build-tsan (kept separate from the
+#   normal build)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-san"}
-[ $# -gt 0 ] && shift
 
-export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+mode=asan
+if [ $# -gt 0 ] && [ "$1" = "--tsan" ]; then
+    mode=tsan
+    shift
+fi
+
+if [ "$mode" = "tsan" ]; then
+    build_dir=${1:-"$repo_root/build-tsan"}
+    sanitizers="thread"
+    # TSan races the whole parallel suite with a few workers even on
+    # small machines so cross-thread interleavings actually happen.
+    export LRS_JOBS="${LRS_JOBS:-4}"
+    export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:${TSAN_OPTIONS:-}"
+else
+    build_dir=${1:-"$repo_root/build-san"}
+    sanitizers="address;undefined"
+    export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+fi
+[ $# -gt 0 ] && shift
 
 cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DLRS_SANITIZE="address;undefined"
+    -DLRS_SANITIZE="$sanitizers"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir "$build_dir" --output-on-failure -j \
-    "$(nproc 2>/dev/null || echo 4)" "$@"
+if [ "$mode" = "tsan" ]; then
+    ctest --test-dir "$build_dir" --output-on-failure -j \
+        "$(nproc 2>/dev/null || echo 4)" -R Parallel "$@"
+else
+    ctest --test-dir "$build_dir" --output-on-failure -j \
+        "$(nproc 2>/dev/null || echo 4)" "$@"
+fi
 
-echo "sanitized test run passed: $build_dir"
+echo "sanitized ($sanitizers) test run passed: $build_dir"
