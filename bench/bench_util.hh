@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/json.hh"
@@ -186,6 +187,15 @@ class JsonReport
                 throw std::runtime_error(
                     "JsonReport: write failed: " + tmp);
             }
+        }
+        // fsync before publishing: rename() orders the directory
+        // entry but not the data blocks, so without this a crash
+        // right after the rename could leave an empty file under the
+        // final name — the journal-grade durability rule
+        // (docs/ROBUSTNESS.md) applied to reports.
+        if (const int fd = ::open(tmp.c_str(), O_WRONLY); fd >= 0) {
+            ::fsync(fd);
+            ::close(fd);
         }
         std::filesystem::rename(tmp, path, ec);
         if (ec) {

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+ * guarding checkpoint-journal records (common/journal.hh). Chosen over
+ * a hand-rolled hash because its error-detection properties are known
+ * (all single-bit and burst errors up to 32 bits) and its test vectors
+ * are public, so a corrupted record can never masquerade as valid
+ * because of a checksum defect of our own making.
+ */
+
+#ifndef LRS_COMMON_CRC_HH
+#define LRS_COMMON_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lrs
+{
+
+/**
+ * Incremental CRC-32: pass the previous return value as @p seed to
+ * continue a running checksum (standard init/final inversion is
+ * handled internally, so chunked and one-shot calls agree).
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t
+crc32(const std::string &s, std::uint32_t seed = 0)
+{
+    return crc32(s.data(), s.size(), seed);
+}
+
+} // namespace lrs
+
+#endif // LRS_COMMON_CRC_HH

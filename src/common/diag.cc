@@ -20,6 +20,10 @@ diagCodeName(DiagCode code)
       case DiagCode::IoWriteFailed:       return "E_IO_WRITE_FAILED";
       case DiagCode::AuditViolation:      return "E_AUDIT_VIOLATION";
       case DiagCode::DataInvalid:         return "E_DATA_INVALID";
+      case DiagCode::DeadlineExceeded:    return "E_DEADLINE_EXCEEDED";
+      case DiagCode::Interrupted:         return "E_INTERRUPTED";
+      case DiagCode::JournalInvalid:      return "E_JOURNAL_INVALID";
+      case DiagCode::CellCrashed:         return "E_CELL_CRASHED";
       case DiagCode::Internal:            return "E_INTERNAL";
     }
     return "E_UNKNOWN";

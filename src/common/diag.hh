@@ -49,6 +49,10 @@ enum class DiagCode : std::uint8_t
     IoWriteFailed,       ///< write/flush failed
     AuditViolation,      ///< a structural invariant does not hold
     DataInvalid,         ///< a result/aggregation value is unusable
+    DeadlineExceeded,    ///< a cycle/wall-clock budget ran out
+    Interrupted,         ///< SIGINT/SIGTERM requested a clean stop
+    JournalInvalid,      ///< checkpoint journal rejected (grid mismatch)
+    CellCrashed,         ///< an isolated sweep cell died abnormally
     Internal,            ///< should-not-happen simulator defect
 };
 
@@ -152,6 +156,39 @@ class AuditError : public std::runtime_error, public DiagnosticError
     explicit AuditError(std::vector<Diag> diags)
         : std::runtime_error(formatDiags(diags)),
           DiagnosticError(std::move(diags))
+    {
+    }
+};
+
+/**
+ * A deterministic cycle budget (MachineConfig::maxCycles) or the
+ * sweep supervisor's wall-clock watchdog expired. Batch runners map
+ * this to the TIMEOUT cell outcome instead of treating it as a
+ * generic failure — a cell that ran out of budget is recoverable
+ * information, not corruption.
+ */
+class DeadlineError : public std::runtime_error, public DiagnosticError
+{
+  public:
+    explicit DeadlineError(Diag d)
+        : std::runtime_error(d.toString()),
+          DiagnosticError(std::vector<Diag>{std::move(d)})
+    {
+    }
+};
+
+/**
+ * A cooperative cancellation (SIGINT/SIGTERM via
+ * requestSweepInterrupt()) unwound the simulation. The sweep
+ * supervisor records the cell as not-run so --resume re-executes it;
+ * lrs_sim exits with its distinct "interrupted" code.
+ */
+class InterruptError : public std::runtime_error, public DiagnosticError
+{
+  public:
+    explicit InterruptError(Diag d)
+        : std::runtime_error(d.toString()),
+          DiagnosticError(std::vector<Diag>{std::move(d)})
     {
     }
 };

@@ -197,6 +197,17 @@ struct MachineConfig
      */
     std::uint64_t auditInterval = 0;
 
+    /**
+     * Deterministic per-run cycle budget: run() raises DeadlineError
+     * once the simulated clock reaches this many cycles. 0 (default)
+     * means unlimited. Batch sweeps use it as the per-cell deadline
+     * that turns a wedged or fault-perturbed cell into a TIMEOUT
+     * outcome instead of hanging the whole grid — and because it is
+     * counted in simulated cycles, the same budget trips at the same
+     * point on any host (docs/ROBUSTNESS.md, "Sweep supervisor").
+     */
+    std::uint64_t maxCycles = 0;
+
     /** Convenience: does the scheme use a CHT at all? */
     bool
     usesCht() const

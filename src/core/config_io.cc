@@ -198,6 +198,10 @@ machineConfigFromIni(std::istream &is, MachineConfig base)
          [](MachineConfig &c, const std::string &v) {
              c.auditInterval = parseU64(v);
          }},
+        {"max_cycles",
+         [](MachineConfig &c, const std::string &v) {
+             c.maxCycles = parseU64(v);
+         }},
         {"exclusive_spec_forward",
          [](MachineConfig &c, const std::string &v) {
              c.exclusiveSpecForward = parseBool(v);
@@ -351,6 +355,7 @@ machineConfigToIni(const MachineConfig &cfg)
     os << "ahpm_penalty = " << cfg.ahpmPenalty << "\n";
     os << "stats_interval = " << cfg.statsInterval << "\n";
     os << "audit_interval = " << cfg.auditInterval << "\n";
+    os << "max_cycles = " << cfg.maxCycles << "\n";
     os << "exclusive_spec_forward = "
        << (cfg.exclusiveSpecForward ? "true" : "false") << "\n";
     os << "stride_prefetch = "

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bitutils.hh"
+#include "core/runner.hh"
 
 namespace lrs
 {
@@ -250,6 +251,25 @@ OooCore::run(TraceStream &trace)
     auditCountdown_ = cfg_.auditInterval;
 
     while (!traceDone_ || headSeq_ != nextSeq_) {
+        // Cooperative per-run deadline: counted in *simulated* cycles
+        // so the same budget trips at the same instruction on any
+        // host — the sweep supervisor maps this to a TIMEOUT cell.
+        if (cfg_.maxCycles && now_ >= cfg_.maxCycles) {
+            throw DeadlineError(makeDiag(
+                DiagCode::DeadlineExceeded, "core", "max_cycles",
+                "cycle budget of " + std::to_string(cfg_.maxCycles) +
+                    " exhausted with " +
+                    std::to_string(nextSeq_ - headSeq_) +
+                    " uops in flight",
+                now_));
+        }
+        // Cooperative cancellation (SIGINT/SIGTERM): polled every 16K
+        // cycles so a long cell unwinds promptly at negligible cost.
+        if ((now_ & 0x3FFF) == 0 && sweepInterruptRequested()) {
+            throw InterruptError(makeDiag(
+                DiagCode::Interrupted, "core", "",
+                "simulation interrupted by request", now_));
+        }
         resolvePendingCollisions();
         retireStage();
         issueStage();

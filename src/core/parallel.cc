@@ -203,21 +203,75 @@ SimJobPool::forEach(std::size_t n,
         std::rethrow_exception(b.firstError);
 }
 
+const char *
+cellStatusName(CellStatus s)
+{
+    switch (s) {
+      case CellStatus::Ok:      return "OK";
+      case CellStatus::Failed:  return "FAILED";
+      case CellStatus::Timeout: return "TIMEOUT";
+      case CellStatus::Crashed: return "CRASHED";
+      case CellStatus::Skipped: return "SKIPPED";
+    }
+    return "?";
+}
+
+CellStatus
+parseCellStatus(const std::string &name)
+{
+    if (name == "OK") return CellStatus::Ok;
+    if (name == "FAILED") return CellStatus::Failed;
+    if (name == "TIMEOUT") return CellStatus::Timeout;
+    if (name == "CRASHED") return CellStatus::Crashed;
+    if (name == "SKIPPED") return CellStatus::Skipped;
+    throw std::invalid_argument("unknown cell status: " + name);
+}
+
+void
+classifyJobException(JobOutcome &o, const std::exception &e)
+{
+    o.failed = true;
+    o.error = e.what();
+    // A deadline is a distinct outcome, not a generic failure: the
+    // supervisor retries it under the same budget and reports it as
+    // TIMEOUT if it persists.
+    if (dynamic_cast<const DeadlineError *>(&e)) {
+        o.status = CellStatus::Timeout;
+        o.code = diagCodeName(DiagCode::DeadlineExceeded);
+        return;
+    }
+    o.status = CellStatus::Failed;
+    if (const auto *de = dynamic_cast<const DiagnosticError *>(&e);
+        de && !de->diags().empty()) {
+        o.code = diagCodeName(de->diags().front().code);
+    } else {
+        o.code = diagCodeName(DiagCode::Internal);
+    }
+}
+
+JobOutcome
+runOneSimJob(const SimJob &job)
+{
+    JobOutcome o;
+    try {
+        auto trace = TraceLibrary::make(job.trace);
+        OooCore core(job.cfg);
+        o.result = core.run(*trace);
+    } catch (const std::exception &e) {
+        // Everything — including an AuditError from a fault-injected
+        // cell — fails only this cell; the grid carries on and the
+        // front end maps the code to its report.
+        classifyJobException(o, e);
+    }
+    return o;
+}
+
 std::vector<JobOutcome>
 SimJobPool::runJobs(const std::vector<SimJob> &jobs)
 {
     std::vector<JobOutcome> out(jobs.size());
-    forEach(jobs.size(), [&](std::size_t i) {
-        JobOutcome &o = out[i];
-        try {
-            auto trace = TraceLibrary::make(jobs[i].trace);
-            OooCore core(jobs[i].cfg);
-            o.result = core.run(*trace);
-        } catch (const std::exception &e) {
-            o.failed = true;
-            o.error = e.what();
-        }
-    });
+    forEach(jobs.size(),
+            [&](std::size_t i) { out[i] = runOneSimJob(jobs[i]); });
     return out;
 }
 

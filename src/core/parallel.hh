@@ -66,16 +66,74 @@ struct SimJob
 };
 
 /**
+ * What happened to one sweep cell — the supervisor's outcome taxonomy
+ * (docs/ROBUSTNESS.md, "Sweep supervisor"):
+ *  - Ok:      the simulation completed and the result is usable;
+ *  - Failed:  the cell threw (bad config, malformed trace, audit
+ *             violation, ...) — JobOutcome::code names the DiagCode;
+ *  - Timeout: the per-cell deadline expired (MachineConfig::maxCycles
+ *             or the isolation mode's wall-clock watchdog);
+ *  - Crashed: the isolated subprocess died abnormally (signal, or
+ *             exit without a result) — JobOutcome::signal when known;
+ *  - Skipped: --resume found the cell already completed in the
+ *             checkpoint journal; the stored result stands.
+ */
+enum class CellStatus : std::uint8_t
+{
+    Ok,
+    Failed,
+    Timeout,
+    Crashed,
+    Skipped,
+};
+
+/** Stable display/journal name: "OK", "FAILED", "TIMEOUT", ... */
+const char *cellStatusName(CellStatus s);
+
+/** Inverse of cellStatusName(); throws std::invalid_argument. */
+CellStatus parseCellStatus(const std::string &name);
+
+/**
  * Result slot of one job. A job that throws (bad config, malformed
- * trace) marks its own slot failed with the diagnostic text; sibling
- * jobs are unaffected.
+ * trace, audit violation) marks its own slot Failed with the
+ * diagnostic text and machine-readable code; sibling jobs are
+ * unaffected.
  */
 struct JobOutcome
 {
     SimResult result;
-    bool failed = false;
-    std::string error; ///< exception text when failed
+    CellStatus status = CellStatus::Ok;
+    bool failed = false; ///< status is Failed/Timeout/Crashed
+    std::string error;   ///< diagnostic text when failed
+    /** DiagCode name ("E_CONFIG_INVALID", "E_AUDIT_VIOLATION",
+     *  "E_DEADLINE_EXCEEDED", ...); "E_INTERNAL" for exceptions that
+     *  carry no structured diagnostics. Empty while status is Ok. */
+    std::string code;
+    /** Terminating signal of a Crashed isolated cell (0 unknown). */
+    int signal = 0;
+    /** Executions this outcome took (>1 after supervisor retries;
+     *  0 for a Skipped cell restored from the journal). */
+    unsigned attempts = 1;
+    /**
+     * Canonical result document of a completed cell. The supervisor
+     * fills it — result.toJson() after a fresh run, or the journal's
+     * stored copy for a Skipped cell — so reports re-emit resumed
+     * cells byte-identically to an uninterrupted run. Null when the
+     * cell has no result (or when the pool was used directly).
+     */
+    json::Value resultJson;
 };
+
+/**
+ * Run one (trace, config) cell to a JobOutcome, classifying any
+ * exception into the taxonomy above — the single implementation
+ * behind SimJobPool::runJobs() and the sweep supervisor, so stderr,
+ * journal records and JSON all agree on what a failure was.
+ */
+JobOutcome runOneSimJob(const SimJob &job);
+
+/** Fill @p o from an in-flight exception (shared classification). */
+void classifyJobException(JobOutcome &o, const std::exception &e);
 
 class SimJobPool
 {

@@ -1,5 +1,6 @@
 #include "core/runner.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -10,6 +11,32 @@
 
 namespace lrs
 {
+
+namespace
+{
+
+/** Lock-free so a signal handler can store to it (see runner.hh). */
+std::atomic<bool> gSweepInterrupt{false};
+
+} // namespace
+
+void
+requestSweepInterrupt() noexcept
+{
+    gSweepInterrupt.store(true, std::memory_order_relaxed);
+}
+
+bool
+sweepInterruptRequested() noexcept
+{
+    return gSweepInterrupt.load(std::memory_order_relaxed);
+}
+
+void
+clearSweepInterrupt() noexcept
+{
+    gSweepInterrupt.store(false, std::memory_order_relaxed);
+}
 
 SimResult
 runSim(TraceStream &trace, const MachineConfig &cfg)

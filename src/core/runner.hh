@@ -59,6 +59,21 @@ double geomean(const std::vector<double> &values);
  */
 std::uint64_t envU64(const char *name, std::uint64_t fallback);
 
+/**
+ * Cooperative sweep cancellation, the mechanism behind lrs_sim's
+ * SIGINT/SIGTERM handling (docs/ROBUSTNESS.md, "Sweep supervisor").
+ * requestSweepInterrupt() is async-signal-safe (one relaxed store on
+ * a lock-free atomic), so a signal handler may call it directly. The
+ * core polls the flag every few thousand simulated cycles and unwinds
+ * with InterruptError; the sweep supervisor stops launching cells and
+ * lets already-journaled work stand, so a later --resume continues
+ * exactly where the interrupt landed.
+ */
+void requestSweepInterrupt() noexcept;
+bool sweepInterruptRequested() noexcept;
+/** Re-arm after a handled interrupt (tests; fresh supervisor runs). */
+void clearSweepInterrupt() noexcept;
+
 } // namespace lrs
 
 #endif // LRS_CORE_RUNNER_HH

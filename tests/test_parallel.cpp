@@ -173,6 +173,11 @@ TEST(Parallel, ThrowingJobFailsItsSlotOnly)
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (i == 2) {
             EXPECT_TRUE(outcomes[i].failed);
+            // Machine-readable taxonomy, not just the what() text:
+            // the supervisor's journal and the batch failure report
+            // both key off this code.
+            EXPECT_EQ(outcomes[i].status, CellStatus::Failed);
+            EXPECT_EQ(outcomes[i].code, "E_CONFIG_INVALID");
             EXPECT_NE(outcomes[i].error.find("int_units"),
                       std::string::npos)
                 << outcomes[i].error;

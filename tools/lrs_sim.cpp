@@ -14,6 +14,7 @@
  *   lrs_sim --trace-file gcc.lrstrc --hmp local+timing
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,22 +31,35 @@
 #include "core/config_io.hh"
 #include "core/parallel.hh"
 #include "core/runner.hh"
+#include "core/supervisor.hh"
 #include "core/tracer.hh"
 #include "trace/serialize.hh"
 
 using namespace lrs;
+
+extern "C" void
+lrsOnSweepSignal(int)
+{
+    // Async-signal-safe: a relaxed store into an atomic flag. The
+    // core's cycle loop and the sweep supervisor poll it; cells
+    // unwind cooperatively, the journal and a partial JSON report
+    // are flushed, and the process exits with kExitInterrupted.
+    requestSweepInterrupt();
+}
 
 namespace
 {
 
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 1 runtime failure
 // (including audit violations), 2 usage, 3 invalid configuration,
-// 4 I/O or trace-content failure.
+// 4 I/O or trace-content failure, 5 interrupted by SIGINT/SIGTERM
+// (journaled sweep cells are resumable with --resume).
 constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitConfig = 3;
 constexpr int kExitIo = 4;
+constexpr int kExitInterrupted = 5;
 
 [[noreturn]] void
 usage(FILE *out, int code, const char *argv0)
@@ -121,8 +135,31 @@ usage(FILE *out, int code, const char *argv0)
         "(LRS_FAULT_BIT_RATE)\n"
         "  --fault-lat-rate R    per-access latency perturbation "
         "probability (LRS_FAULT_LAT_RATE)\n"
+        "resilient sweeps (docs/ROBUSTNESS.md, \"Sweep "
+        "supervisor\"):\n"
+        "  --journal PATH        append one crash-safe checkpoint "
+        "record per finished\n"
+        "                        --batch cell (CRC-guarded JSONL, "
+        "fsync per record)\n"
+        "  --resume PATH         validate PATH against the grid, "
+        "skip cells it records\n"
+        "                        as OK, and keep appending to it\n"
+        "  --retries N           re-run FAILED/TIMEOUT/CRASHED cells "
+        "up to N extra times\n"
+        "  --isolate             fork each cell into a subprocess; a "
+        "crash (SIGSEGV,\n"
+        "                        abort) marks only that cell "
+        "CRASHED\n"
+        "  --cell-timeout-ms N   wall-clock watchdog per isolated "
+        "cell (SIGKILL +\n"
+        "                        TIMEOUT on expiry; 0 disables)\n"
+        "  --max-cycles N        deterministic per-run cycle budget; "
+        "exceeding it is a\n"
+        "                        TIMEOUT outcome (0 disables)\n"
         "exit codes: 0 ok, 1 runtime/audit failure, 2 usage, "
-        "3 bad config, 4 I/O\n",
+        "3 bad config, 4 I/O,\n"
+        "            5 interrupted (SIGINT/SIGTERM; resume with "
+        "--resume)\n",
         argv0);
     std::exit(code);
 }
@@ -322,18 +359,31 @@ parseBatchGrid(const std::string &path)
 }
 
 /**
- * Run a batch grid through a dedicated job pool and print one table
- * row per (trace, scheme) cell, in grid order regardless of worker
- * count. Returns kExitRuntime if any cell failed.
+ * Run a batch grid under the sweep supervisor and print one table row
+ * per (trace, scheme) cell, in grid order regardless of worker count.
+ *
+ * Resumed (journal-restored) cells re-emit their stored result, so
+ * the table and the JSON document of an interrupted-then-resumed
+ * sweep are byte-identical to an uninterrupted run — their status
+ * column deliberately reads "OK", and the sweep.* accounting goes to
+ * stderr instead of the report.
+ *
+ * Returns kExitInterrupted if the sweep was cut short (partial JSON
+ * still written), kExitRuntime if any cell finally failed.
  */
 int
 runBatch(const std::string &path, unsigned jobs_flag,
-         const std::string &json_path)
+         const std::string &json_path, SweepOptions sopts,
+         std::uint64_t max_cycles)
 {
     BatchGrid grid = parseBatchGrid(path);
+    if (max_cycles)
+        grid.base.maxCycles = max_cycles;
 
     std::vector<SimJob> jobs;
+    std::vector<std::string> keys;
     jobs.reserve(grid.traces.size() * grid.schemes.size());
+    keys.reserve(jobs.capacity());
     for (const auto &name : grid.traces) {
         TraceParams tp;
         try {
@@ -348,53 +398,124 @@ runBatch(const std::string &path, unsigned jobs_flag,
             job.cfg = grid.base;
             job.cfg.scheme = scheme;
             jobs.push_back(std::move(job));
+            keys.push_back(name + "/" + orderingSchemeName(scheme));
         }
     }
 
-    SimJobPool pool(jobs_flag ? jobs_flag : grid.jobs);
-    const std::vector<JobOutcome> outcomes = pool.runJobs(jobs);
+    sopts.workers = jobs_flag ? jobs_flag : grid.jobs;
 
-    bool any_failed = false;
-    TextTable t({"trace", "scheme", "cycles", "IPC", "speedup"});
+    // Chaos hook for tools/chaos_sweep.sh and the isolation tests:
+    // LRS_CHAOS_CRASH_CELL names a cell that raises
+    // LRS_CHAOS_CRASH_SIG (default SIGSEGV) instead of simulating.
+    // Without --isolate that kills the whole sweep — which is exactly
+    // the crash-mid-sweep scenario the journal exists for.
+    const std::uint64_t chaos_cell =
+        envU64("LRS_CHAOS_CRASH_CELL", ~std::uint64_t{0});
+    const int chaos_sig = static_cast<int>(
+        envU64("LRS_CHAOS_CRASH_SIG", SIGSEGV));
+
+    SweepSupervisor sup(sopts);
+    const std::vector<JobOutcome> outcomes =
+        sup.run(jobs.size(), keys, [&](std::size_t cell, unsigned) {
+            if (cell == chaos_cell)
+                ::raise(chaos_sig);
+            return runOneSimJob(jobs[cell]);
+        });
+
+    bool any_gave_up = false;
+    TextTable t({"trace", "scheme", "status", "cycles", "IPC",
+                 "speedup"});
     json::Value rows = json::Value::array();
+    json::Value fails = json::Value::array();
+    const std::size_t nschemes = grid.schemes.size();
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const JobOutcome &o = outcomes[i];
-        const std::string &trace = grid.traces[i / grid.schemes.size()];
+        const std::string &trace = grid.traces[i / nschemes];
         const char *scheme =
-            orderingSchemeName(grid.schemes[i % grid.schemes.size()]);
+            orderingSchemeName(grid.schemes[i % nschemes]);
+        const bool done = o.status == CellStatus::Ok ||
+                          o.status == CellStatus::Skipped;
         t.startRow();
         t.cell(trace);
         t.cell(scheme);
-        if (o.failed) {
-            any_failed = true;
-            std::fprintf(stderr,
-                         "batch cell (%s, %s) failed:\n%s\n", // -
-                         trace.c_str(), scheme, o.error.c_str());
-            t.cell("FAILED");
+        if (!done) {
+            const bool cut =
+                o.code == diagCodeName(DiagCode::Interrupted);
+            if (!cut) {
+                any_gave_up = true;
+                std::fprintf(
+                    stderr,
+                    "batch cell %s %s [%s] after %u attempt(s): %s\n",
+                    keys[i].c_str(), cellStatusName(o.status),
+                    o.code.c_str(), o.attempts, o.error.c_str());
+            }
+            t.cell(cellStatusName(o.status));
             t.cell("-");
             t.cell("-");
+            t.cell("-");
+            json::Value f = json::Value::object();
+            f.set("cell", static_cast<std::uint64_t>(i));
+            f.set("key", keys[i]);
+            f.set("status", cellStatusName(o.status));
+            f.set("code", o.code);
+            f.set("error", o.error);
+            if (o.signal)
+                f.set("signal", o.signal);
+            f.set("attempts", static_cast<std::uint64_t>(o.attempts));
+            fails.push(std::move(f));
             continue;
         }
         // Speedup is against the first scheme of the same trace (the
         // grid's baseline column), matching --compare-schemes.
-        const JobOutcome &base =
-            outcomes[(i / grid.schemes.size()) * grid.schemes.size()];
+        const JobOutcome &base = outcomes[(i / nschemes) * nschemes];
+        t.cell("OK");
         t.cell(strprintf(
             "%llu", static_cast<unsigned long long>(o.result.cycles)));
         t.cell(o.result.ipc(), 2);
-        if (base.failed)
-            t.cell("-");
-        else
+        if (base.status == CellStatus::Ok ||
+            base.status == CellStatus::Skipped)
             t.cell(o.result.speedupOver(base.result), 3);
-        rows.push(o.result.toJson());
+        else
+            t.cell("-");
+        rows.push(o.resultJson.isNull() ? o.result.toJson()
+                                        : o.resultJson);
     }
     t.print(json_path == "-" ? std::cerr : std::cout);
     if (!json_path.empty()) {
         json::Value doc = json::Value::object();
         doc.set("grid", std::move(rows));
+        if (fails.size())
+            doc.set("failures", std::move(fails));
+        if (sup.interrupted())
+            doc.set("interrupted", true);
         emitJson(json_path, doc);
     }
-    return any_failed ? kExitRuntime : kExitOk;
+
+    const SweepStats &ss = sup.sweepStats();
+    const auto u = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    std::fprintf(stderr,
+                 "sweep: %llu cells: %llu ok, %llu resumed, %llu "
+                 "failed, %llu timeout, %llu crashed, %llu not-run; "
+                 "%llu retries, %llu gave up\n",
+                 u(ss.cells), u(ss.ok), u(ss.skipped), u(ss.failed),
+                 u(ss.timeout), u(ss.crashed), u(ss.interrupted),
+                 u(ss.retries), u(ss.gaveUp));
+    if (sup.interrupted()) {
+        if (!sopts.journalPath.empty()) {
+            std::fprintf(stderr,
+                         "sweep interrupted; continue with "
+                         "--batch %s --resume %s\n",
+                         path.c_str(), sopts.journalPath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "sweep interrupted (no --journal: completed "
+                         "cells were not checkpointed)\n");
+        }
+        return kExitInterrupted;
+    }
+    return any_gave_up ? kExitRuntime : kExitOk;
 }
 
 /**
@@ -433,6 +554,7 @@ main(int argc, char **argv)
     std::uint64_t len = 200000;
     unsigned jobs_flag = 0;
     std::string batch_path;
+    SweepOptions sweep_opts;
     bool compare = false;
     bool inject_trace_faults = false;
     TraceReadOptions read_opts;
@@ -443,6 +565,20 @@ main(int argc, char **argv)
     if (const char *v = std::getenv("LRS_AUDIT");
         v && *v && std::string(v) != "0") {
         cfg.auditInterval = 8192;
+    }
+
+    {
+        // SIGINT/SIGTERM request a cooperative stop: running cells
+        // unwind, the journal stays consistent, and we exit with the
+        // distinct "interrupted" code. SA_RESTART keeps the blocking
+        // file I/O paths oblivious; the cycle loop polls the flag.
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = &lrsOnSweepSignal;
+        sa.sa_flags = SA_RESTART;
+        ::sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
     }
 
     try {
@@ -480,6 +616,20 @@ main(int argc, char **argv)
             else if (a == "--batch") batch_path = next();
             else if (a == "--jobs")
                 jobs_flag = static_cast<unsigned>(std::stoul(next()));
+            else if (a == "--journal")
+                sweep_opts.journalPath = next();
+            else if (a == "--resume") {
+                sweep_opts.journalPath = next();
+                sweep_opts.resume = true;
+            }
+            else if (a == "--retries")
+                sweep_opts.retries =
+                    static_cast<unsigned>(std::stoul(next()));
+            else if (a == "--isolate") sweep_opts.isolate = true;
+            else if (a == "--cell-timeout-ms")
+                sweep_opts.cellTimeoutMs = std::stoull(next());
+            else if (a == "--max-cycles")
+                cfg.maxCycles = std::stoull(next());
             else if (a == "--dump-trace") dump_path = next();
             else if (a == "--json") json_path = next();
             else if (a == "--stats-interval")
@@ -519,7 +669,8 @@ main(int argc, char **argv)
         if (jobs_flag)
             ::setenv("LRS_JOBS", std::to_string(jobs_flag).c_str(), 1);
         if (!batch_path.empty())
-            return runBatch(batch_path, jobs_flag, json_path);
+            return runBatch(batch_path, jobs_flag, json_path,
+                            sweep_opts, cfg.maxCycles);
 
         if (inject_trace_faults && fault_cfg.traceRate <= 0.0)
             fault_cfg.traceRate = 0.01;
@@ -614,6 +765,9 @@ main(int argc, char **argv)
                      "results are untrustworthy:\n%s\n",
                      e.what());
         return kExitRuntime;
+    } catch (const InterruptError &e) {
+        std::fprintf(stderr, "interrupted:\n%s\n", e.what());
+        return kExitInterrupted;
     } catch (const std::invalid_argument &e) {
         // Flag-value parse errors (std::stoi and friends).
         std::fprintf(stderr, "error: %s\n", e.what());

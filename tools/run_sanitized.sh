@@ -46,9 +46,16 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 if [ "$mode" = "tsan" ]; then
     ctest --test-dir "$build_dir" --output-on-failure -j \
         "$(nproc 2>/dev/null || echo 4)" -R Parallel "$@"
+    # Sweep-supervisor chaos drill, kill/resume legs only: fork() in
+    # an instrumented multithreaded process is outside TSan's model.
+    "$repo_root/tools/chaos_sweep.sh" --no-isolate "$build_dir"
 else
     ctest --test-dir "$build_dir" --output-on-failure -j \
         "$(nproc 2>/dev/null || echo 4)" "$@"
+    # Full chaos drill. The sacrificial cell raises SIGKILL instead of
+    # SIGSEGV: ASan intercepts segfaults into its own report, while
+    # SIGKILL drives the identical CRASHED bookkeeping uninstrumented.
+    LRS_CHAOS_CRASH_SIG=9 "$repo_root/tools/chaos_sweep.sh" "$build_dir"
 fi
 
 echo "sanitized ($sanitizers) test run passed: $build_dir"
