@@ -27,6 +27,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/buildinfo.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
 #include "core/parallel.hh"
@@ -154,6 +155,10 @@ class JsonReport
         std::lock_guard<std::mutex> lk(m_);
         flushRow();
         json::Value doc = json::Value::object();
+        // Provenance leads the document (same contract as lrs_sim
+        // --json): consumers that byte-compare bench output across
+        // builds strip this first block (tools/check_overhead.sh).
+        doc.set("build", buildProvenanceJson());
         doc.set("bench", bench_);
         doc.set("trace_len", traceLen());
         doc.set("rows", std::move(rows_));

@@ -1,0 +1,64 @@
+#include "common/buildinfo.hh"
+
+#include "common/stats.hh"
+
+// LRS_BUILD_TYPE / LRS_SANITIZE_MODE / LRS_GIT_SHA come in as compile
+// definitions on this one translation unit (src/common/CMakeLists.txt)
+// so a provenance change never recompiles the world.
+#ifndef LRS_BUILD_TYPE
+#define LRS_BUILD_TYPE "unknown"
+#endif
+#ifndef LRS_SANITIZE_MODE
+#define LRS_SANITIZE_MODE "none"
+#endif
+#ifndef LRS_GIT_SHA
+#define LRS_GIT_SHA "unknown"
+#endif
+
+namespace lrs
+{
+
+namespace
+{
+
+const char *
+compilerId()
+{
+#if defined(__clang__)
+    return "clang";
+#elif defined(__GNUC__)
+    return "gcc";
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+compilerVersion()
+{
+#if defined(__clang__)
+    return strprintf("%d.%d.%d", __clang_major__, __clang_minor__,
+                     __clang_patchlevel__);
+#elif defined(__GNUC__)
+    return strprintf("%d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                     __GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace
+
+json::Value
+buildProvenanceJson()
+{
+    json::Value v = json::Value::object();
+    v.set("compiler", json::Value(compilerId()));
+    v.set("compiler_version", json::Value(compilerVersion()));
+    v.set("build_type", json::Value(LRS_BUILD_TYPE));
+    v.set("sanitize", json::Value(LRS_SANITIZE_MODE));
+    v.set("git_sha", json::Value(LRS_GIT_SHA));
+    return v;
+}
+
+} // namespace lrs

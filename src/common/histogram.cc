@@ -1,0 +1,66 @@
+#include "common/histogram.hh"
+
+#include <stdexcept>
+
+namespace lrs
+{
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+}
+
+void
+Log2Histogram::reset()
+{
+    count_ = sum_ = min_ = max_ = 0;
+    buckets_.fill(0);
+}
+
+json::Value
+Log2Histogram::toJson() const
+{
+    json::Value v = json::Value::object();
+    v.set("count", json::Value(count_));
+    v.set("sum", json::Value(sum_));
+    v.set("min", json::Value(min()));
+    v.set("max", json::Value(max()));
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (buckets_[b])
+            last = b + 1;
+    }
+    json::Value arr = json::Value::array();
+    for (std::size_t b = 0; b < last; ++b)
+        arr.push(json::Value(buckets_[b]));
+    v.set("buckets", std::move(arr));
+    return v;
+}
+
+Log2Histogram
+Log2Histogram::fromJson(const json::Value &v)
+{
+    Log2Histogram h;
+    h.count_ = v.at("count").asU64();
+    h.sum_ = v.at("sum").asU64();
+    h.min_ = v.at("min").asU64();
+    h.max_ = v.at("max").asU64();
+    const json::Value &arr = v.at("buckets");
+    if (arr.size() > kBuckets)
+        throw std::runtime_error("Log2Histogram: too many buckets");
+    for (std::size_t b = 0; b < arr.size(); ++b)
+        h.buckets_[b] = arr.at(b).asU64();
+    return h;
+}
+
+} // namespace lrs

@@ -1,8 +1,10 @@
 #include "common/json.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace lrs::json
@@ -144,7 +146,22 @@ Value::dumpTo(std::string &out, int indent, int depth) const
         out += bool_ ? "true" : "false";
         break;
       case Kind::Number:
-        appendNumber(out, num_);
+        // Exact integers print their own digits; for every value a
+        // double represents exactly this matches the integral fast
+        // path below, so pre-existing exports stay byte-identical.
+        if (rep_ == NumRep::U64) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(u64_));
+            out += buf;
+        } else if (rep_ == NumRep::I64) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(i64_));
+            out += buf;
+        } else {
+            appendNumber(out, num_);
+        }
         break;
       case Kind::String:
         out += '"';
@@ -402,6 +419,26 @@ class Parser
             fail("expected a value");
         char *end = nullptr;
         const std::string tok = s_.substr(start, pos_ - start);
+        // Integer tokens parse into the exact representation so
+        // count/sum fields above 2^53 survive a round-trip; anything
+        // with a fraction or exponent (and out-of-range integers)
+        // takes the double path as before.
+        const bool integral =
+            tok.find_first_of(".eE") == std::string::npos;
+        if (integral) {
+            errno = 0;
+            if (tok[0] == '-') {
+                const long long ll = std::strtoll(tok.c_str(), &end, 10);
+                if (errno == 0 && end == tok.c_str() + tok.size())
+                    return Value(static_cast<std::int64_t>(ll));
+            } else {
+                const unsigned long long ull =
+                    std::strtoull(tok.c_str(), &end, 10);
+                if (errno == 0 && end == tok.c_str() + tok.size())
+                    return Value(static_cast<std::uint64_t>(ull));
+            }
+        }
+        errno = 0;
         const double d = std::strtod(tok.c_str(), &end);
         if (end != tok.c_str() + tok.size())
             fail("malformed number");

@@ -9,6 +9,13 @@
  * emitted as `null`, matching the NaN-safe conventions documented in
  * results.hh.
  *
+ * Numbers built from 64-bit integers keep their exact integer
+ * representation rather than being squeezed through a double: counter
+ * and histogram sums above 2^53 would otherwise silently lose bits on
+ * export and re-parse. The serialized text is unchanged for every
+ * value a double can represent exactly (the integral fast path prints
+ * the same digits), so existing exports stay byte-identical.
+ *
  * The reader half is a minimal recursive-descent parser covering the
  * subset the writer emits (all of RFC 8259 minus \u surrogate pairs,
  * which the stats layer never produces). It exists so tests can
@@ -68,12 +75,16 @@ class Value
     Value(std::nullptr_t) : kind_(Kind::Null) {}
     Value(bool b) : kind_(Kind::Bool), bool_(b) {}
     Value(double d) : kind_(Kind::Number), num_(d) {}
-    Value(int i) : kind_(Kind::Number), num_(i) {}
+    Value(int i)
+        : kind_(Kind::Number), rep_(NumRep::I64), num_(i), i64_(i)
+    {}
     Value(std::uint64_t u)
-        : kind_(Kind::Number), num_(static_cast<double>(u))
+        : kind_(Kind::Number), rep_(NumRep::U64),
+          num_(static_cast<double>(u)), u64_(u)
     {}
     Value(std::int64_t i)
-        : kind_(Kind::Number), num_(static_cast<double>(i))
+        : kind_(Kind::Number), rep_(NumRep::I64),
+          num_(static_cast<double>(i)), i64_(i)
     {}
     Value(const char *s) : kind_(Kind::String), str_(s) {}
     Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
@@ -95,7 +106,23 @@ class Value
     asU64() const
     {
         expect(Kind::Number);
+        switch (rep_) {
+          case NumRep::U64: return u64_;
+          case NumRep::I64: return static_cast<std::uint64_t>(i64_);
+          case NumRep::Dbl: break;
+        }
         return static_cast<std::uint64_t>(num_);
+    }
+    std::int64_t
+    asI64() const
+    {
+        expect(Kind::Number);
+        switch (rep_) {
+          case NumRep::U64: return static_cast<std::int64_t>(u64_);
+          case NumRep::I64: return i64_;
+          case NumRep::Dbl: break;
+        }
+        return static_cast<std::int64_t>(num_);
     }
     const std::string &asString() const
     {
@@ -130,12 +157,23 @@ class Value
     static Value parse(const std::string &text);
 
   private:
+    /** How a Number is stored; exact integers bypass the double. */
+    enum class NumRep
+    {
+        Dbl,
+        U64,
+        I64,
+    };
+
     void expect(Kind k) const;
     void dumpTo(std::string &out, int indent, int depth) const;
 
     Kind kind_;
+    NumRep rep_ = NumRep::Dbl;
     bool bool_ = false;
     double num_ = 0.0;
+    std::uint64_t u64_ = 0;
+    std::int64_t i64_ = 0;
     std::string str_;
     std::vector<Value> elems_;
     std::vector<std::pair<std::string, Value>> members_;

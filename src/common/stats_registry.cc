@@ -61,6 +61,15 @@ StatsRegistry::histogram(const std::string &name,
     return *s.hist;
 }
 
+Log2Histogram &
+StatsRegistry::log2hist(const std::string &name,
+                        const std::string &desc)
+{
+    Stat &s = add(name, desc, Kind::OwnedLog2Histogram);
+    s.log2hist = std::make_unique<Log2Histogram>();
+    return *s.log2hist;
+}
+
 void
 StatsRegistry::derived(const std::string &name,
                        std::function<double()> getter,
@@ -113,6 +122,8 @@ StatsRegistry::value(const std::string &name) const
             return s->dist->mean();
           case Kind::OwnedHistogram:
             return static_cast<double>(s->hist->total());
+          case Kind::OwnedLog2Histogram:
+            return static_cast<double>(s->log2hist->count());
           case Kind::Derived:
             return s->getter();
         }
@@ -137,6 +148,9 @@ StatsRegistry::reset()
             break;
           case Kind::OwnedHistogram:
             s->hist->reset();
+            break;
+          case Kind::OwnedLog2Histogram:
+            s->log2hist->reset();
             break;
           case Kind::Derived:
             break; // a view onto component state; nothing to reset
@@ -163,6 +177,8 @@ StatsRegistry::leafJson(const Stat &s) const
         v.set("max", s.dist->max());
         return v;
       }
+      case Kind::OwnedLog2Histogram:
+        return s.log2hist->toJson();
       case Kind::OwnedHistogram: {
         json::Value v = json::Value::object();
         v.set("bucket_width", s.hist->bucketWidth());

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
 
@@ -65,6 +66,10 @@ class StatsRegistry
     Histogram &histogram(const std::string &name,
                          std::size_t num_buckets, double bucket_width,
                          const std::string &desc = "");
+
+    /** Register an owned log2 histogram (common/histogram.hh). */
+    Log2Histogram &log2hist(const std::string &name,
+                            const std::string &desc = "");
 
     /** Register a derived (computed-at-export) scalar. */
     void derived(const std::string &name,
@@ -105,6 +110,7 @@ class StatsRegistry
         BoundCounter,
         OwnedDistribution,
         OwnedHistogram,
+        OwnedLog2Histogram,
         Derived,
     };
 
@@ -117,6 +123,7 @@ class StatsRegistry
         std::uint64_t *boundCounter = nullptr;
         std::unique_ptr<Distribution> dist;
         std::unique_ptr<Histogram> hist;
+        std::unique_ptr<Log2Histogram> log2hist;
         std::function<double()> getter;
     };
 
@@ -164,6 +171,12 @@ class StatsGroup
     {
         return reg_.histogram(join(name), num_buckets, bucket_width,
                               desc);
+    }
+
+    Log2Histogram &
+    log2hist(const std::string &name, const std::string &desc = "")
+    {
+        return reg_.log2hist(join(name), desc);
     }
 
     void

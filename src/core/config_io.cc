@@ -194,6 +194,10 @@ machineConfigFromIni(std::istream &is, MachineConfig base)
          [](MachineConfig &c, const std::string &v) {
              c.statsInterval = parseU64(v);
          }},
+        {"collect_histograms",
+         [](MachineConfig &c, const std::string &v) {
+             c.collectHistograms = parseBool(v);
+         }},
         {"audit_interval",
          [](MachineConfig &c, const std::string &v) {
              c.auditInterval = parseU64(v);
@@ -354,6 +358,8 @@ machineConfigToIni(const MachineConfig &cfg)
     os << "reschedule_penalty = " << cfg.reschedulePenalty << "\n";
     os << "ahpm_penalty = " << cfg.ahpmPenalty << "\n";
     os << "stats_interval = " << cfg.statsInterval << "\n";
+    os << "collect_histograms = "
+       << (cfg.collectHistograms ? "true" : "false") << "\n";
     os << "audit_interval = " << cfg.auditInterval << "\n";
     os << "max_cycles = " << cfg.maxCycles << "\n";
     os << "exclusive_spec_forward = "

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/bitutils.hh"
+#include "common/profiler.hh"
 #include "core/runner.hh"
 
 namespace lrs
@@ -221,6 +223,32 @@ OooCore::registerStats()
 
     statsReg_.bindCounter("audit.checks", &auditChecks_,
                           "invariant audits performed");
+
+    // Telemetry histograms, default off (collect_histograms /
+    // --histograms). Registered last so the off path leaves every
+    // pre-existing export byte-identical.
+    if (cfg_.collectHistograms) {
+        StatsGroup hist = statsReg_.group("hist");
+        hLoadUse_ = &hist.log2hist(
+            "load_to_use", "cycles from load issue to data ready");
+        hReplayDist_ = &hist.log2hist(
+            "replay_distance",
+            "cycles a wasted issue fired before its data (wakeup "
+            "misprediction gap; top bucket = data unknown)");
+        hOccSched_ = &hist.log2hist(
+            "occ_sched", "scheduling-window occupancy per cycle");
+        hOccRob_ = &hist.log2hist("occ_rob",
+                                  "ROB occupancy per cycle");
+        hOccMob_ = &hist.log2hist("occ_mob",
+                                  "MOB occupancy per cycle");
+        hChtConf_ = &hist.log2hist(
+            "cht_confidence",
+            "CHT saturating-counter value at each prediction");
+        hHmpConf_ = &hist.log2hist(
+            "hmp_confidence",
+            "hit-miss predictor confidence at each prediction, in "
+            "percent");
+    }
 }
 
 SimResult
@@ -250,6 +278,16 @@ OooCore::run(TraceStream &trace)
     iv_.countdown = cfg_.statsInterval;
     auditCountdown_ = cfg_.auditInterval;
 
+    if (cfg_.collectHistograms) {
+        hLoadUse_->reset();
+        hReplayDist_->reset();
+        hOccSched_->reset();
+        hOccRob_->reset();
+        hOccMob_->reset();
+        hChtConf_->reset();
+        hHmpConf_->reset();
+    }
+
     while (!traceDone_ || headSeq_ != nextSeq_) {
         // Cooperative per-run deadline: counted in *simulated* cycles
         // so the same budget trips at the same instruction on any
@@ -270,11 +308,28 @@ OooCore::run(TraceStream &trace)
                 DiagCode::Interrupted, "core", "",
                 "simulation interrupted by request", now_));
         }
-        resolvePendingCollisions();
-        retireStage();
-        issueStage();
-        renameStage(trace);
+        {
+            prof::Scope ps(prof::Stage::Execute);
+            resolvePendingCollisions();
+        }
+        {
+            prof::Scope ps(prof::Stage::Commit);
+            retireStage();
+        }
+        {
+            prof::Scope ps(prof::Stage::Issue);
+            issueStage();
+        }
+        {
+            prof::Scope ps(prof::Stage::Rename);
+            renameStage(trace);
+        }
         ++now_;
+        if (hOccSched_) {
+            hOccSched_->record(static_cast<std::uint64_t>(rsCount_));
+            hOccRob_->record(nextSeq_ - headSeq_);
+            hOccMob_->record(mob_.size());
+        }
         if (cfg_.statsInterval) {
             iv_.occSched += static_cast<std::uint64_t>(rsCount_);
             iv_.occRob += nextSeq_ - headSeq_;
@@ -296,7 +351,26 @@ OooCore::run(TraceStream &trace)
         snapshotInterval(); // flush the final partial interval
     if (cfg_.auditInterval)
         auditNow(); // the drained machine must also be sound
+    if (cfg_.collectHistograms)
+        exportHistograms();
     return res_;
+}
+
+void
+OooCore::exportHistograms()
+{
+    // Mirror the "hist.*" registry subtree into the SimResult so
+    // batch cells carry their histograms through the journal/JSON
+    // path (results travel; the registry stays with the core).
+    json::Value h = json::Value::object();
+    h.set("load_to_use", hLoadUse_->toJson());
+    h.set("replay_distance", hReplayDist_->toJson());
+    h.set("occ_sched", hOccSched_->toJson());
+    h.set("occ_rob", hOccRob_->toJson());
+    h.set("occ_mob", hOccMob_->toJson());
+    h.set("cht_confidence", hChtConf_->toJson());
+    h.set("hmp_confidence", hHmpConf_->toJson());
+    res_.histograms = std::move(h);
 }
 
 AuditView
@@ -430,6 +504,8 @@ OooCore::resolvePendingCollisions()
             e.waitingOnStore = false;
             ++res_.forwarded;
             traceUop(TraceEvent::Forward, e);
+            if (hLoadUse_)
+                hLoadUse_->record(e.completeAt - now_);
             it = pendingCollision_.erase(it);
             continue;
         }
@@ -443,6 +519,8 @@ OooCore::resolvePendingCollisions()
             e.waitingOnStore = false;
             ++res_.forwarded;
             traceUop(TraceEvent::Forward, e);
+            if (hLoadUse_)
+                hLoadUse_->record(data - now_);
             if (e.violationSquash)
                 fetchBlockedUntil_ = std::max(fetchBlockedUntil_, data);
             it = pendingCollision_.erase(it);
@@ -796,6 +874,7 @@ OooCore::executeLoad(RobEntry &e)
         // Timing structures are indexed by address; the predictor
         // supplies its (stride-)predicted line, and only then is the
         // outstanding-miss queue consulted.
+        prof::Scope ps(prof::Stage::Predict);
         const Addr probe = hmp_->timingProbeAddr(u.pc);
         if (probe != kAddrInvalid) {
             const auto ti = mem_.timingInfo(probe, now_);
@@ -804,6 +883,11 @@ OooCore::executeLoad(RobEntry &e)
             pred_miss = hmp_->predictMiss(u.pc, &hint);
         } else {
             pred_miss = hmp_->predictMiss(u.pc, nullptr);
+        }
+        if (hHmpConf_) {
+            // Confidence is a [0,1] double; bucketise as percent.
+            hHmpConf_->record(static_cast<std::uint64_t>(std::llround(
+                hmp_->missConfidence(u.pc) * 100.0)));
         }
         break;
       }
@@ -828,6 +912,9 @@ OooCore::executeLoad(RobEntry &e)
         e.estReady = e.actualReady = e.completeAt = kCycleNever;
         return;
     }
+
+    if (hLoadUse_)
+        hLoadUse_->record(data - now_);
 
     e.actualReady = e.completeAt = data;
     if (!pred_miss) {
@@ -985,6 +1072,13 @@ OooCore::issueStage()
             --*pool;
             ++res_.wastedIssues;
             traceUop(TraceEvent::Replay, e);
+            if (hReplayDist_) {
+                // Top bucket = the producer's data time was still
+                // unknown when the slot burnt (kCycleNever).
+                hReplayDist_->record(true_ready == kCycleNever
+                                         ? ~std::uint64_t{0}
+                                         : true_ready - now_);
+            }
             if (!e.everWasted) {
                 e.everWasted = true;
                 ++res_.replayedUops;
@@ -1155,9 +1249,14 @@ OooCore::renameStage(TraceStream &trace)
                 if (faults_ && faults_->fireBitFlip())
                     cht_->corruptRandomBit(faults_->rng());
                 e.pathAtPredict = pathHist_;
-                const auto p = cht_->predict(u->pc, pathHist_);
+                const auto p = [&] {
+                    prof::Scope ps(prof::Stage::Predict);
+                    return cht_->predict(u->pc, pathHist_);
+                }();
                 e.predColliding = p.colliding;
                 e.predDistance = p.distance;
+                if (hChtConf_)
+                    hChtConf_->record(p.confidence);
                 if (cfg_.scheme == OrderingScheme::Exclusive &&
                     p.colliding && p.distance > 0) {
                     const Mob::StoreRec *s =

@@ -26,9 +26,11 @@
 #include <vector>
 
 #include "common/fault_injector.hh"
+#include "common/histogram.hh"
 #include "common/stats_registry.hh"
 #include "core/auditor.hh"
 #include "core/config.hh"
+#include "core/flight_recorder.hh"
 #include "core/results.hh"
 #include "core/tracer.hh"
 #include "memory/hierarchy.hh"
@@ -64,6 +66,13 @@ class OooCore
      * null-pointer test.
      */
     void attachTracer(PipelineTracer *t) { tracer_ = t; }
+
+    /**
+     * Attach a flight recorder (not owned; nullptr detaches). Shares
+     * the tracer's event stream and cost model: with none attached
+     * each potential event costs a single null-pointer test.
+     */
+    void attachFlightRecorder(FlightRecorder *fr) { flight_ = fr; }
 
     /**
      * The core's stats registry: every component's counters under
@@ -185,7 +194,12 @@ class OooCore
     {
         if (tracer_)
             tracer_->record(ev, now_, e.seq, e.uop.pc, e.uop.cls);
+        if (flight_)
+            flight_->record(ev, now_, e.seq, e.uop.pc, e.uop.cls);
     }
+
+    /** Fill res_.histograms from the telemetry histograms (run end). */
+    void exportHistograms();
 
     // --- helpers ---
     RobEntry &entryAt(int slot) { return rob_[slot]; }
@@ -279,8 +293,23 @@ class OooCore
     SimResult res_;
 
     // --- observability state ---
-    PipelineTracer *tracer_ = nullptr; ///< not owned; may be null
+    PipelineTracer *tracer_ = nullptr;   ///< not owned; may be null
+    FlightRecorder *flight_ = nullptr;   ///< not owned; may be null
     StatsRegistry statsReg_;
+
+    /**
+     * Telemetry histograms (owned by statsReg_ under "hist.*"); all
+     * null unless cfg_.collectHistograms, so the off path costs one
+     * null test per sample site. Deterministic by construction: they
+     * record simulated quantities only, never host state.
+     */
+    Log2Histogram *hLoadUse_ = nullptr;   ///< load-to-use delay
+    Log2Histogram *hReplayDist_ = nullptr;///< wasted-issue replay gap
+    Log2Histogram *hOccSched_ = nullptr;  ///< window occupancy / cycle
+    Log2Histogram *hOccRob_ = nullptr;    ///< ROB occupancy / cycle
+    Log2Histogram *hOccMob_ = nullptr;    ///< MOB occupancy / cycle
+    Log2Histogram *hChtConf_ = nullptr;   ///< CHT counter at predict
+    Log2Histogram *hHmpConf_ = nullptr;   ///< HMP confidence (percent)
 
     // --- robustness state ---
     FaultInjector *faults_ = nullptr; ///< not owned; may be null

@@ -1,0 +1,138 @@
+#include "core/flight_recorder.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/diag.hh"
+#include "common/journal.hh"
+
+namespace lrs
+{
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : buf_(capacity ? capacity : 1)
+{
+    notes_.reserve(kMaxNotes);
+}
+
+void
+FlightRecorder::setIdentity(std::size_t cell, std::string key)
+{
+    cell_ = cell;
+    key_ = std::move(key);
+}
+
+void
+FlightRecorder::setDumpPath(std::string path,
+                            std::uint64_t flushInterval)
+{
+    path_ = std::move(path);
+    flushInterval_ = flushInterval;
+    dumpNow();
+}
+
+void
+FlightRecorder::note(const std::string &kind, const std::string &text)
+{
+    if (notes_.size() < kMaxNotes)
+        notes_.push_back({kind, text});
+    else
+        ++droppedNotes_;
+    dumpNow();
+}
+
+json::Value
+FlightRecorder::headerJson() const
+{
+    json::Value h = json::Value::object();
+    h.set("v", json::Value(1));
+    h.set("type", json::Value("flight_recorder"));
+    h.set("cell", json::Value(static_cast<std::uint64_t>(cell_)));
+    h.set("key", json::Value(key_));
+    h.set("capacity",
+          json::Value(static_cast<std::uint64_t>(buf_.size())));
+    h.set("events", json::Value(static_cast<std::uint64_t>(count_)));
+    h.set("total_recorded", json::Value(total_));
+    h.set("wrapped", json::Value(wrapped()));
+    json::Value notes = json::Value::array();
+    for (const Note &n : notes_) {
+        json::Value nv = json::Value::object();
+        nv.set("kind", json::Value(n.kind));
+        nv.set("text", json::Value(n.text));
+        notes.push(std::move(nv));
+    }
+    h.set("notes", std::move(notes));
+    if (droppedNotes_)
+        h.set("dropped_notes", json::Value(droppedNotes_));
+    return h;
+}
+
+json::Value
+FlightRecorder::eventJson(const Event &e) const
+{
+    json::Value v = json::Value::object();
+    v.set("c", json::Value(e.cycle));
+    v.set("e", json::Value(traceEventName(e.ev)));
+    v.set("seq", json::Value(e.seq));
+    v.set("pc", json::Value(e.pc));
+    v.set("cls", json::Value(uopClassName(e.cls)));
+    return v;
+}
+
+void
+FlightRecorder::dumpNow()
+{
+    if (path_.empty())
+        return;
+
+    std::string out = journalLine(headerJson());
+    // Oldest first, same walk as PipelineTracer::at().
+    const std::size_t start = wrapped() ? next_ : 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+        const std::size_t idx = (start + i) % buf_.size();
+        out += journalLine(eventJson(buf_[idx]));
+    }
+
+    // Temp-write + fsync + rename: whatever instant the process is
+    // killed, the path either holds the previous complete snapshot or
+    // this one — never a half-written mix.
+    const auto ioFail = [](DiagCode code, const std::string &path,
+                           const char *what) -> IoError {
+        return IoError(makeDiag(code, "core.flight_recorder", "path",
+                                std::string(what) + ": " + path));
+    };
+
+    const std::string tmp = path_ + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        throw ioFail(DiagCode::IoOpenFailed, tmp, "cannot open");
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(fd, out.data() + off, out.size() - off);
+        if (n < 0) {
+            ::close(fd);
+            throw ioFail(DiagCode::IoWriteFailed, tmp, "write failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0)
+        throw ioFail(DiagCode::IoWriteFailed, tmp, "sync failed");
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        throw ioFail(DiagCode::IoWriteFailed, path_, "rename failed");
+}
+
+void
+FlightRecorder::removeDump()
+{
+    if (path_.empty())
+        return;
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".tmp").c_str());
+}
+
+} // namespace lrs

@@ -1,6 +1,7 @@
 #include "core/parallel.hh"
 
 #include "core/core.hh"
+#include "core/flight_recorder.hh"
 #include "core/runner.hh"
 #include "trace/library.hh"
 
@@ -252,16 +253,27 @@ classifyJobException(JobOutcome &o, const std::exception &e)
 JobOutcome
 runOneSimJob(const SimJob &job)
 {
+    return runOneSimJob(job, nullptr);
+}
+
+JobOutcome
+runOneSimJob(const SimJob &job, FlightRecorder *fr)
+{
     JobOutcome o;
     try {
         auto trace = TraceLibrary::make(job.trace);
         OooCore core(job.cfg);
+        core.attachFlightRecorder(fr);
         o.result = core.run(*trace);
     } catch (const std::exception &e) {
         // Everything — including an AuditError from a fault-injected
         // cell — fails only this cell; the grid carries on and the
         // front end maps the code to its report.
         classifyJobException(o, e);
+        if (fr) {
+            fr->note("outcome", o.code + ": " + o.error);
+            fr->dumpNow();
+        }
     }
     return o;
 }

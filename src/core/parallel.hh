@@ -132,6 +132,17 @@ struct JobOutcome
  */
 JobOutcome runOneSimJob(const SimJob &job);
 
+/**
+ * As above with a flight recorder riding along (may be null): the
+ * recorder is attached to the core for the duration of the run, and
+ * on a failure the outcome classification is noted into it and its
+ * dump rewritten before returning — so the per-cell dump ends with
+ * the same code/error the journal and JSON report carry
+ * (docs/OBSERVABILITY.md, "Flight recorder").
+ */
+class FlightRecorder;
+JobOutcome runOneSimJob(const SimJob &job, FlightRecorder *fr);
+
 /** Fill @p o from an in-flight exception (shared classification). */
 void classifyJobException(JobOutcome &o, const std::exception &e);
 

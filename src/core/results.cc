@@ -88,6 +88,9 @@ SimResult::toJson() const
     iv.set("rob_occupancy", std::move(robOcc));
     v.set("intervals", std::move(iv));
 
+    if (!histograms.isNull())
+        v.set("histograms", histograms);
+
     return v;
 }
 

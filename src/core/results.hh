@@ -113,6 +113,16 @@ struct SimResult
     std::vector<IntervalSample> intervals;
 
     /**
+     * Telemetry histograms (null unless collectHistograms was set):
+     * the "hist.*" registry subtree as a JSON object, carried in the
+     * result so batch cells ship their distributions through the
+     * journal and the grid merge (docs/OBSERVABILITY.md,
+     * "Histograms"). Exported as a "histograms" member only when
+     * non-null, keeping histogram-off output byte-identical.
+     */
+    json::Value histograms;
+
+    /**
      * Retired uops per cycle. NaN when the result never ran
      * (cycles == 0) — see the file-level ratio convention.
      */

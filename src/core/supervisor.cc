@@ -142,6 +142,67 @@ SweepSupervisor::loadJournal(std::vector<JobOutcome> &outcomes,
 }
 
 void
+SweepSupervisor::emitProgress()
+{
+    if (opts_.progressFd < 0)
+        return;
+    std::lock_guard<std::mutex> lk(progressM_);
+    if (progressDead_)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t elapsedMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - progStart_)
+            .count());
+    const std::uint64_t remaining =
+        progTotal_ - progSkipped_ - progDone_;
+    json::Value hb = json::Value::object();
+    hb.set("v", 1);
+    hb.set("type", "progress");
+    hb.set("total", progTotal_);
+    hb.set("done", progDone_);
+    hb.set("ok", progOk_);
+    hb.set("failed", progFailed_);
+    hb.set("timeout", progTimeout_);
+    hb.set("crashed", progCrashed_);
+    hb.set("skipped", progSkipped_);
+    hb.set("in_flight", inFlight_.load(std::memory_order_relaxed));
+    hb.set("workers", static_cast<std::uint64_t>(progWorkers_));
+    hb.set("elapsed_ms", elapsedMs);
+    // ETA from the observed fresh-cell rate; null until the first
+    // cell finishes (no rate yet), 0 once nothing remains.
+    if (progDone_ == 0) {
+        hb.set("eta_ms", json::Value());
+    } else {
+        hb.set("eta_ms",
+               remaining * elapsedMs / progDone_);
+    }
+    hb.set("uops", progUops_);
+    hb.set("uops_per_sec",
+           elapsedMs ? static_cast<double>(progUops_) * 1000.0 /
+                           static_cast<double>(elapsedMs)
+                     : 0.0);
+    std::string line = hb.dump(0);
+    line.push_back('\n');
+    // One write per line so a consumer tailing the fd never sees a
+    // torn heartbeat; a failed/partial write retires the stream for
+    // the rest of the sweep (the results are unaffected).
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::write(opts_.progressFd,
+                                  line.data() + off,
+                                  line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            progressDead_ = true;
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
 SweepSupervisor::journalOutcome(std::size_t cell,
                                 const std::string &key,
                                 const JobOutcome &o)
@@ -367,6 +428,7 @@ SweepSupervisor::runCell(std::size_t cell, unsigned attempt,
         out.attempts = 0;
         return; // deliberately not journaled: --resume re-runs it
     }
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
     JobOutcome o;
     if (opts_.isolate) {
         o = runIsolated(runner, cell, attempt);
@@ -385,9 +447,39 @@ SweepSupervisor::runCell(std::size_t cell, unsigned attempt,
     o.attempts = attempt;
     if (o.status == CellStatus::Ok && o.resultJson.isNull())
         o.resultJson = o.result.toJson();
+    const bool completed =
+        o.code != diagCodeName(DiagCode::Interrupted);
+    if (opts_.progressFd >= 0 && completed) {
+        std::lock_guard<std::mutex> lk(progressM_);
+        if (attempt > 1) {
+            // This cell already counted a failed attempt; the retry
+            // outcome replaces it rather than inflating done/total.
+            --progDone_;
+            switch (out.status) {
+              case CellStatus::Failed:  --progFailed_;  break;
+              case CellStatus::Timeout: --progTimeout_; break;
+              case CellStatus::Crashed: --progCrashed_; break;
+              default: break;
+            }
+        }
+        ++progDone_;
+        switch (o.status) {
+          case CellStatus::Ok:
+            ++progOk_;
+            progUops_ += o.result.uops;
+            break;
+          case CellStatus::Failed:  ++progFailed_;  break;
+          case CellStatus::Timeout: ++progTimeout_; break;
+          case CellStatus::Crashed: ++progCrashed_; break;
+          default: break;
+        }
+    }
     out = std::move(o);
-    if (writer_ && out.code != diagCodeName(DiagCode::Interrupted))
+    if (writer_ && completed)
         journalOutcome(cell, key, out);
+    inFlight_.fetch_sub(1, std::memory_order_relaxed);
+    if (completed)
+        emitProgress();
 }
 
 std::vector<JobOutcome>
@@ -431,6 +523,19 @@ SweepSupervisor::run(std::size_t n,
     }
 
     SimJobPool pool(opts_.workers);
+    if (opts_.progressFd >= 0) {
+        std::lock_guard<std::mutex> lk(progressM_);
+        progressDead_ = false;
+        progTotal_ = n;
+        progDone_ = progOk_ = progFailed_ = 0;
+        progTimeout_ = progCrashed_ = 0;
+        progSkipped_ = n - pending.size();
+        progUops_ = 0;
+        progWorkers_ = pool.workers();
+        inFlight_.store(0, std::memory_order_relaxed);
+        progStart_ = std::chrono::steady_clock::now();
+    }
+    emitProgress(); // initial heartbeat: grid size + resume skips
     const unsigned totalAttempts = 1 + opts_.retries;
     for (unsigned attempt = 1; attempt <= totalAttempts; ++attempt) {
         if (pending.empty() || sweepInterruptRequested())

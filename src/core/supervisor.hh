@@ -32,7 +32,11 @@
  *  - **cooperative interruption**: when requestSweepInterrupt() fires
  *    (lrs_sim's SIGINT/SIGTERM handler), running cells unwind, queued
  *    cells are marked not-run, journaled work stands, and a later
- *    resume continues exactly where the interrupt landed.
+ *    resume continues exactly where the interrupt landed;
+ *  - **live progress stream** (SweepOptions::progressFd): one compact
+ *    JSON heartbeat line per completed cell — done/total, per-status
+ *    counts, ETA, aggregate uops/sec — for operators watching a long
+ *    grid (docs/OBSERVABILITY.md, "Progress stream").
  *
  * Every count lands in a StatsRegistry under "sweep.*". See
  * docs/ROBUSTNESS.md ("Sweep supervisor") for the journal format and
@@ -42,6 +46,8 @@
 #ifndef LRS_CORE_SUPERVISOR_HH
 #define LRS_CORE_SUPERVISOR_HH
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -81,6 +87,19 @@ struct SweepOptions
     std::uint64_t cellTimeoutMs = 0;
     /** Pool size (0 = LRS_JOBS / hardware concurrency). */
     unsigned workers = 0;
+    /**
+     * Live progress stream: file descriptor to receive one compact
+     * JSON heartbeat line per completed cell (plus one before the
+     * first cell starts), carrying cells done/total, per-status
+     * counts, elapsed/ETA wall time and aggregate simulated-uop
+     * throughput (docs/OBSERVABILITY.md, "Progress stream"). -1 (the
+     * default) disables emission entirely. The stream reports host
+     * wall-clock time and is therefore *not* deterministic — it is an
+     * operator-facing side channel and never feeds results; write
+     * failures (closed pipe, full disk) silently stop the stream
+     * rather than failing the sweep.
+     */
+    int progressFd = -1;
 };
 
 /** Aggregate accounting of one run(), mirrored in stats(). */
@@ -161,12 +180,35 @@ class SweepSupervisor
                  const std::string &key, const CellRunner &runner,
                  JobOutcome &out);
 
+    /**
+     * Emit one heartbeat line to opts_.progressFd (no-op when the
+     * stream is disabled or a previous write failed). Counters are
+     * snapshotted under progressM_ so concurrent cell completions
+     * produce whole, ordered lines.
+     */
+    void emitProgress();
+
     SweepOptions opts_;
     SweepStats stats_;
     StatsRegistry reg_;
     std::unique_ptr<JournalWriter> writer_;
     std::mutex journalM_;
     bool interrupted_ = false;
+
+    // --- progress stream state (active only when progressFd >= 0) ---
+    std::mutex progressM_;        ///< guards counters + fd writes
+    bool progressDead_ = false;   ///< a write failed; stop emitting
+    std::uint64_t progTotal_ = 0; ///< grid size of the current run
+    std::uint64_t progDone_ = 0;  ///< fresh cells finished so far
+    std::uint64_t progOk_ = 0;
+    std::uint64_t progFailed_ = 0;
+    std::uint64_t progTimeout_ = 0;
+    std::uint64_t progCrashed_ = 0;
+    std::uint64_t progSkipped_ = 0; ///< restored, never re-run
+    std::uint64_t progUops_ = 0;    ///< simulated uops of OK cells
+    unsigned progWorkers_ = 0;      ///< resolved pool width
+    std::atomic<std::uint64_t> inFlight_{0}; ///< cells running now
+    std::chrono::steady_clock::time_point progStart_;
 };
 
 } // namespace lrs

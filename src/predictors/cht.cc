@@ -204,35 +204,36 @@ Cht::predict(Addr pc, std::uint64_t path) const
       case ChtKind::Full: {
         const Entry *e = lookupTagged(pc);
         if (!e)
-            return {false, 0};
-        return {counterPredicts(e->counter), e->distance};
+            return {false, 0, 0};
+        return {counterPredicts(e->counter), e->distance, e->counter};
       }
       case ChtKind::TagOnly: {
         const Entry *e = lookupTagged(pc);
         if (!e)
-            return {false, 0};
-        return {true, e->distance};
+            return {false, 0, 0};
+        return {true, e->distance, 1};
       }
       case ChtKind::Tagless: {
         const std::size_t i = taglessIndex(pc);
         const bool coll = counterPredicts(taglessCtr_[i]);
         const unsigned dist =
             params_.trackDistance ? taglessDist_[i] : 0;
-        return {coll, coll ? dist : 0};
+        return {coll, coll ? dist : 0, taglessCtr_[i]};
       }
       case ChtKind::Combined: {
         const Entry *e = lookupTagged(pc);
         const bool tag_coll = e != nullptr;
-        const bool tl_coll =
-            counterPredicts(taglessCtr_[taglessIndex(pc)]);
+        const std::uint8_t tl_ctr = taglessCtr_[taglessIndex(pc)];
+        const bool tl_coll = counterPredicts(tl_ctr);
         const bool coll = params_.combineConservative
                               ? (tag_coll || tl_coll)
                               : (tag_coll && tl_coll);
         const unsigned dist = e ? e->distance : 0;
-        return {coll, coll ? dist : 0};
+        return {coll, coll ? dist : 0,
+                std::max<unsigned>(e ? e->counter : 0, tl_ctr)};
       }
     }
-    return {false, 0};
+    return {false, 0, 0};
 }
 
 void

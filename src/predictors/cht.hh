@@ -106,6 +106,13 @@ class Cht
         bool colliding;
         /** Predicted store-distance (1 = closest); 0 = unknown. */
         unsigned distance;
+        /**
+         * Raw saturating-counter value behind the prediction (0 on a
+         * structural miss; tag-only hits report 1). Telemetry feeds
+         * this to the confidence histogram; it plays no part in the
+         * prediction itself.
+         */
+        unsigned confidence = 0;
     };
 
     explicit Cht(const ChtParams &params);

@@ -50,6 +50,14 @@ class HitMissPredictor
                              const Hint *hint = nullptr) const = 0;
 
     /**
+     * Confidence in [0, 1] behind predictMiss() for @p pc, for the
+     * telemetry confidence histogram. Purely observational — never
+     * consulted by the scheduling machinery — and 0 where the
+     * underlying structure has no confidence notion.
+     */
+    virtual double missConfidence(Addr /*pc*/) const { return 0.0; }
+
+    /**
      * Which line's timing state (outstanding-miss queue / recently-
      * serviced buffer) the machine should probe on behalf of this
      * predictor. Timing structures are indexed by address, and the
@@ -119,6 +127,12 @@ class TableHmp : public HitMissPredictor
         return pred_->predict(pc).taken;
     }
 
+    double
+    missConfidence(Addr pc) const override
+    {
+        return pred_->predict(pc).confidence;
+    }
+
     void
     update(Addr pc, bool miss, Addr) override
     {
@@ -167,6 +181,12 @@ class TimingHmp : public HitMissPredictor
                 return false; // line just serviced
         }
         return inner_->predictMiss(pc, nullptr);
+    }
+
+    double
+    missConfidence(Addr pc) const override
+    {
+        return inner_->missConfidence(pc);
     }
 
     Addr

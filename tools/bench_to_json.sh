@@ -5,7 +5,7 @@
 # Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_FILE]
 #
 #   BUILD_DIR  where the bench binaries live (default: build/bench)
-#   OUT_FILE   aggregate output (default: BENCH_2.json)
+#   OUT_FILE   aggregate output (default: BENCH_3.json)
 #
 # Environment:
 #   LRS_TRACE_LEN  uops per trace passed through to the benches
@@ -19,12 +19,17 @@
 # $LRS_BENCH_JSON (see bench/bench_util.hh). This script points that
 # at a scratch file per bench and then splices the documents into
 #
-#   {"generated_by": "...", "trace_len": N, "benches": [...]}
+#   {"generated_by": "...", "trace_len": N,
+#    "throughput": {...uops/sec baseline...}, "benches": [...]}
+#
+# The throughput block comes from one lrs_sim --profile run, so the
+# trajectory records how fast the simulator itself was at each PR —
+# the regression baseline for host-time optimisation work.
 
 set -eu
 
 BUILD_DIR=${1:-build/bench}
-OUT=${2:-BENCH_2.json}
+OUT=${2:-BENCH_3.json}
 : "${LRS_TRACE_LEN:=40000}"
 export LRS_TRACE_LEN
 
@@ -58,10 +63,30 @@ if [ "$ran" -eq 0 ]; then
     exit 1
 fi
 
+# Host-throughput baseline: one profiled single run; uops/sec comes
+# out of the "profile" JSON block (0 if lrs_sim is not built).
+SIM="$BUILD_DIR/../tools/lrs_sim"
+UOPS_PER_SEC=0
+if [ -x "$SIM" ]; then
+    echo "running lrs_sim --profile throughput baseline..." >&2
+    UOPS_PER_SEC=$("$SIM" --trace wd --len "$LRS_TRACE_LEN" --profile \
+        --json - 2>/dev/null \
+        | grep '"uops_per_sec"' | head -n 1 \
+        | sed 's/.*: *//; s/[,}].*//')
+    [ -n "$UOPS_PER_SEC" ] || UOPS_PER_SEC=0
+else
+    echo "skip: throughput baseline (no lrs_sim at $SIM)" >&2
+fi
+
 {
     printf '{\n'
     printf '  "generated_by": "tools/bench_to_json.sh",\n'
     printf '  "trace_len": %s,\n' "$LRS_TRACE_LEN"
+    printf '  "throughput": {\n'
+    printf '    "trace": "wd",\n'
+    printf '    "len": %s,\n' "$LRS_TRACE_LEN"
+    printf '    "uops_per_sec": %s\n' "$UOPS_PER_SEC"
+    printf '  },\n'
     printf '  "benches": [\n'
     first=1
     for b in $BENCHES; do

@@ -95,6 +95,7 @@ if [ "$isolate" = 1 ]; then
     rc=0
     LRS_CHAOS_CRASH_CELL=5 "$sim" --batch "$work/grid.ini" --jobs 2 \
         --isolate --journal "$j" \
+        --flight-recorder "$work/flight" --json "$work/crash.json" \
         > "$work/crash.txt" 2> "$work/crash.err" || rc=$?
     [ "$rc" -eq 1 ] || fail "crashing sweep exited $rc, expected 1"
     grep -q "CRASHED" "$work/crash.txt" \
@@ -102,6 +103,20 @@ if [ "$isolate" = 1 ]; then
     ok_rows=$(grep -c " OK " "$work/crash.txt" || true)
     [ "$ok_rows" -eq 15 ] \
         || fail "expected 15 completed siblings, saw $ok_rows"
+    # The crashed cell must leave a CRC-valid flight-recorder dump
+    # (armed before the chaos signal fires, even against SIGKILL),
+    # the failure entry in the batch JSON must reference it, and the
+    # 15 completed siblings must have cleaned theirs up.
+    fdump="$work/flight/cell_5.flight.jsonl"
+    [ -f "$fdump" ] \
+        || fail "crashed cell left no flight-recorder dump at $fdump"
+    "$sim" --check-journal "$fdump" > /dev/null \
+        || fail "flight-recorder dump failed CRC validation"
+    grep -q "flight_recorder" "$work/crash.json" \
+        || fail "batch JSON failure entry lacks flight_recorder path"
+    ndumps=$(ls "$work/flight" | wc -l)
+    [ "$ndumps" -eq 1 ] \
+        || fail "expected 1 surviving dump, saw $ndumps"
     # Resume without the chaos hook: the crashed cell re-runs and the
     # final report converges to the clean reference, byte for byte.
     "$sim" --batch "$work/grid.ini" --jobs 2 --resume "$j" \

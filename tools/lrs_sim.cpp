@@ -14,21 +14,28 @@
  *   lrs_sim --trace-file gcc.lrstrc --hmp local+timing
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "common/buildinfo.hh"
 #include "common/diag.hh"
 #include "common/fault_injector.hh"
+#include "common/histogram.hh"
 #include "common/json.hh"
+#include "common/profiler.hh"
 #include "common/stats.hh"
 #include "core/config_io.hh"
+#include "core/flight_recorder.hh"
 #include "core/parallel.hh"
 #include "core/runner.hh"
 #include "core/supervisor.hh"
@@ -115,6 +122,29 @@ usage(FILE *out, int code, const char *argv0)
         "Perfetto)\n"
         "  --trace-buf N         event ring-buffer capacity "
         "(default 262144)\n"
+        "telemetry (docs/OBSERVABILITY.md):\n"
+        "  --histograms          collect deterministic log2 "
+        "histograms (load-to-use\n"
+        "                        delay, replay distance, occupancy, "
+        "predictor\n"
+        "                        confidence); exported under "
+        "\"histograms\"\n"
+        "  --profile             time the simulator's own stages "
+        "(host clock) and\n"
+        "                        report the breakdown + uops/sec "
+        "(stderr and a\n"
+        "                        \"profile\" JSON block)\n"
+        "  --flight-recorder DIR keep a per-cell event ring during "
+        "--batch; a failed\n"
+        "                        cell leaves DIR/cell_N.flight.jsonl "
+        "(CRC-framed)\n"
+        "  --progress[=FD]       stream one JSON heartbeat line per "
+        "finished --batch\n"
+        "                        cell to FD (default 2, stderr)\n"
+        "  --check-journal PATH  validate a CRC-framed JSONL file "
+        "(checkpoint journal\n"
+        "                        or flight dump); exit nonzero on "
+        "damaged lines\n"
         "robustness (docs/ROBUSTNESS.md):\n"
         "  --audit               audit ROB/window/MOB invariants "
         "(LRS_AUDIT=1)\n"
@@ -250,15 +280,27 @@ writeTextFile(const std::string &path, const std::string &text)
     }
 }
 
-/** Emit a JSON document to a path, or to stdout for "-". */
+/**
+ * Emit a JSON document to a path, or to stdout for "-". Every
+ * top-level export leads with the "build" provenance block (compiler,
+ * build type, sanitizer mode, git SHA — common/buildinfo.hh) as its
+ * first member, so a result file always states which binary produced
+ * it. Provenance lives only here, at the document root: per-cell
+ * result documents (journal records, resume restores) never carry it,
+ * keeping resumed sweeps byte-identical to uninterrupted ones.
+ */
 void
 emitJson(const std::string &path, const json::Value &doc)
 {
+    json::Value out = json::Value::object();
+    out.set("build", buildProvenanceJson());
+    for (const auto &m : doc.members())
+        out.set(m.first, m.second);
     if (path == "-") {
-        std::cout << doc.dump(2) << "\n";
+        std::cout << out.dump(2) << "\n";
         return;
     }
-    writeTextFile(path, doc.dump(2));
+    writeTextFile(path, out.dump(2));
 }
 
 /**
@@ -374,11 +416,15 @@ parseBatchGrid(const std::string &path)
 int
 runBatch(const std::string &path, unsigned jobs_flag,
          const std::string &json_path, SweepOptions sopts,
-         std::uint64_t max_cycles)
+         std::uint64_t max_cycles, bool histograms, bool profile,
+         const std::string &flight_dir)
 {
     BatchGrid grid = parseBatchGrid(path);
     if (max_cycles)
         grid.base.maxCycles = max_cycles;
+    if (histograms)
+        grid.base.collectHistograms = true;
+    const bool hist_on = grid.base.collectHistograms;
 
     std::vector<SimJob> jobs;
     std::vector<std::string> keys;
@@ -414,13 +460,46 @@ runBatch(const std::string &path, unsigned jobs_flag,
     const int chaos_sig = static_cast<int>(
         envU64("LRS_CHAOS_CRASH_SIG", SIGSEGV));
 
+    // Per-cell flight-recorder dump paths. The recorder is armed
+    // (identity + initial snapshot on disk) *before* the chaos hook
+    // fires, so even a cell SIGKILLed on entry leaves a CRC-valid
+    // dump for the failure entry to reference.
+    const auto flightPath = [&](std::size_t cell) {
+        return flight_dir + "/cell_" + std::to_string(cell) +
+               ".flight.jsonl";
+    };
+    if (!flight_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(flight_dir, ec);
+        if (ec) {
+            throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                                   "flight-recorder",
+                                   "cannot create " + flight_dir +
+                                       ": " + ec.message()));
+        }
+    }
+
     SweepSupervisor sup(sopts);
+    const auto wall0 = std::chrono::steady_clock::now();
     const std::vector<JobOutcome> outcomes =
         sup.run(jobs.size(), keys, [&](std::size_t cell, unsigned) {
+            std::unique_ptr<FlightRecorder> fr;
+            if (!flight_dir.empty()) {
+                fr = std::make_unique<FlightRecorder>();
+                fr->setIdentity(cell, keys[cell]);
+                fr->setDumpPath(flightPath(cell));
+            }
             if (cell == chaos_cell)
                 ::raise(chaos_sig);
-            return runOneSimJob(jobs[cell]);
+            JobOutcome o = runOneSimJob(jobs[cell], fr.get());
+            if (fr && o.status == CellStatus::Ok)
+                fr->removeDump();
+            return o;
         });
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
 
     bool any_gave_up = false;
     TextTable t({"trace", "scheme", "status", "cycles", "IPC",
@@ -462,6 +541,13 @@ runBatch(const std::string &path, unsigned jobs_flag,
             if (o.signal)
                 f.set("signal", o.signal);
             f.set("attempts", static_cast<std::uint64_t>(o.attempts));
+            if (!flight_dir.empty()) {
+                // A dump survives for any cell that got past arming
+                // the recorder — including a SIGKILLed child.
+                std::error_code ec;
+                if (std::filesystem::exists(flightPath(i), ec))
+                    f.set("flight_recorder", flightPath(i));
+            }
             fails.push(std::move(f));
             continue;
         }
@@ -481,9 +567,57 @@ runBatch(const std::string &path, unsigned jobs_flag,
                                         : o.resultJson);
     }
     t.print(json_path == "-" ? std::cerr : std::cout);
+
+    // Fresh simulated uops this run (resumed cells did no host work).
+    std::uint64_t fresh_uops = 0;
+    for (const JobOutcome &o : outcomes) {
+        if (o.status == CellStatus::Ok)
+            fresh_uops += o.result.uops;
+    }
+    if (profile)
+        std::fputs(prof::reportText(fresh_uops, wall).c_str(), stderr);
+
     if (!json_path.empty()) {
         json::Value doc = json::Value::object();
         doc.set("grid", std::move(rows));
+        if (hist_on) {
+            // Merge per-cell histograms serially in ascending cell-id
+            // order — exact u64 adds, so the aggregate is
+            // bit-identical for any worker count (the same
+            // determinism contract as the table rows). Resumed cells
+            // contribute their journaled histograms, so a resumed
+            // sweep aggregates identically to an uninterrupted one.
+            std::vector<std::string> order;
+            std::map<std::string, Log2Histogram> merged;
+            for (const JobOutcome &o : outcomes) {
+                if (o.status != CellStatus::Ok &&
+                    o.status != CellStatus::Skipped)
+                    continue;
+                const json::Value *h =
+                    o.resultJson.isObject()
+                        ? o.resultJson.find("histograms")
+                        : nullptr;
+                if (!h || !h->isObject())
+                    continue;
+                for (const auto &m : h->members()) {
+                    auto it = merged.find(m.first);
+                    if (it == merged.end()) {
+                        order.push_back(m.first);
+                        merged.emplace(
+                            m.first, Log2Histogram::fromJson(m.second));
+                    } else {
+                        it->second.merge(
+                            Log2Histogram::fromJson(m.second));
+                    }
+                }
+            }
+            json::Value hj = json::Value::object();
+            for (const std::string &name : order)
+                hj.set(name, merged.at(name).toJson());
+            doc.set("histograms", std::move(hj));
+        }
+        if (profile)
+            doc.set("profile", prof::reportJson(fresh_uops, wall));
         if (fails.size())
             doc.set("failures", std::move(fails));
         if (sup.interrupted())
@@ -556,6 +690,9 @@ main(int argc, char **argv)
     std::string batch_path;
     SweepOptions sweep_opts;
     bool compare = false;
+    bool profile = false;
+    std::string flight_dir;
+    std::string check_journal_path;
     bool inject_trace_faults = false;
     TraceReadOptions read_opts;
     FaultConfig fault_cfg = FaultConfig::fromEnv();
@@ -628,6 +765,15 @@ main(int argc, char **argv)
             else if (a == "--isolate") sweep_opts.isolate = true;
             else if (a == "--cell-timeout-ms")
                 sweep_opts.cellTimeoutMs = std::stoull(next());
+            else if (a == "--histograms")
+                cfg.collectHistograms = true;
+            else if (a == "--profile") profile = true;
+            else if (a == "--flight-recorder") flight_dir = next();
+            else if (a == "--progress") sweep_opts.progressFd = 2;
+            else if (a.rfind("--progress=", 0) == 0)
+                sweep_opts.progressFd = std::stoi(a.substr(11));
+            else if (a == "--check-journal")
+                check_journal_path = next();
             else if (a == "--max-cycles")
                 cfg.maxCycles = std::stoull(next());
             else if (a == "--dump-trace") dump_path = next();
@@ -664,13 +810,38 @@ main(int argc, char **argv)
                 usage(stderr, kExitUsage, argv[0]);
             }
         }
+        if (!check_journal_path.empty()) {
+            // Offline CRC validation of any LRSJ1-framed file: a
+            // checkpoint journal or a flight-recorder dump.
+            JournalReadStats jst;
+            const std::vector<json::Value> recs =
+                readJournal(check_journal_path, &jst);
+            std::printf("%s: %zu valid record(s)\n",
+                        check_journal_path.c_str(), recs.size());
+            if (jst.badLines) {
+                std::fprintf(
+                    stderr,
+                    "%s: %llu damaged line(s), %llu byte(s) "
+                    "dropped%s\n",
+                    check_journal_path.c_str(),
+                    static_cast<unsigned long long>(jst.badLines),
+                    static_cast<unsigned long long>(jst.droppedBytes),
+                    jst.truncatedTail ? " (torn tail)" : "");
+                return kExitRuntime;
+            }
+            return kExitOk;
+        }
+        if (profile)
+            prof::setEnabled(true);
         // --jobs also sizes the lazily-created shared pool behind
         // runAllSchemes (used by --compare-schemes).
         if (jobs_flag)
             ::setenv("LRS_JOBS", std::to_string(jobs_flag).c_str(), 1);
         if (!batch_path.empty())
             return runBatch(batch_path, jobs_flag, json_path,
-                            sweep_opts, cfg.maxCycles);
+                            sweep_opts, cfg.maxCycles,
+                            cfg.collectHistograms, profile,
+                            flight_dir);
 
         if (inject_trace_faults && fault_cfg.traceRate <= 0.0)
             fault_cfg.traceRate = 0.01;
@@ -707,7 +878,19 @@ main(int argc, char **argv)
         }
 
         if (compare) {
+            const auto wall0 = std::chrono::steady_clock::now();
             const auto results = runAllSchemes(*trace, cfg);
+            const double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
+            std::uint64_t total_uops = 0;
+            for (const auto &r : results)
+                total_uops += r.uops;
+            if (profile)
+                std::fputs(
+                    prof::reportText(total_uops, wall).c_str(),
+                    stderr);
             const SimResult &base = results.front();
             TextTable t({"scheme", "cycles", "IPC", "speedup"});
             for (std::size_t i = 0; i < results.size(); ++i) {
@@ -725,6 +908,9 @@ main(int argc, char **argv)
                 for (const auto &r : results)
                     schemes.push(r.toJson());
                 doc.set("schemes", std::move(schemes));
+                if (profile)
+                    doc.set("profile",
+                            prof::reportJson(total_uops, wall));
                 emitJson(json_path, doc);
             }
             return kExitOk;
@@ -743,11 +929,21 @@ main(int argc, char **argv)
             tracer = std::make_unique<PipelineTracer>(trace_buf);
             core.attachTracer(tracer.get());
         }
+        const auto wall0 = std::chrono::steady_clock::now();
         const SimResult r = core.run(*trace);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                wall0)
+                                .count();
         printResult(json_path == "-" ? stderr : stdout, r);
+        if (profile)
+            std::fputs(prof::reportText(r.uops, wall).c_str(),
+                       stderr);
         if (!json_path.empty()) {
             json::Value doc = r.toJson();
             doc.set("registry", core.stats().toJson());
+            if (profile)
+                doc.set("profile", prof::reportJson(r.uops, wall));
             emitJson(json_path, doc);
         }
         if (tracer)

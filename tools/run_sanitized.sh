@@ -57,5 +57,9 @@ else
     # SIGKILL drives the identical CRASHED bookkeeping uninstrumented.
     LRS_CHAOS_CRASH_SIG=9 "$repo_root/tools/chaos_sweep.sh" "$build_dir"
 fi
+# Telemetry-off byte-identity gate under the sanitized binary (the
+# simulated output is deterministic regardless of instrumentation).
+# Timing is meaningless under sanitizers, so the wall gate is skipped.
+"$repo_root/tools/check_overhead.sh" --no-time "$build_dir"
 
 echo "sanitized ($sanitizers) test run passed: $build_dir"
