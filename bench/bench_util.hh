@@ -28,6 +28,7 @@
 #include <unistd.h>
 
 #include "common/buildinfo.hh"
+#include "common/io.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
 #include "core/parallel.hh"
@@ -180,27 +181,23 @@ class JsonReport
         const std::string tmp =
             path + ".tmp." + std::to_string(::getpid()) + "." +
             std::to_string(counter.fetch_add(1));
-        {
-            std::ofstream os(tmp, std::ios::binary);
-            if (!os)
-                throw std::runtime_error("JsonReport: cannot open " +
-                                         tmp);
-            os << doc.dump(2);
-            os.flush();
-            if (!os) {
-                std::filesystem::remove(tmp, ec);
-                throw std::runtime_error(
-                    "JsonReport: write failed: " + tmp);
-            }
-        }
-        // fsync before publishing: rename() orders the directory
-        // entry but not the data blocks, so without this a crash
-        // right after the rename could leave an empty file under the
-        // final name — the journal-grade durability rule
+        // writeFully + fsync before publishing: EINTR and short
+        // writes are continued, and rename() orders the directory
+        // entry but not the data blocks, so without the fsync a
+        // crash right after the rename could leave an empty file
+        // under the final name — the journal-grade durability rule
         // (docs/ROBUSTNESS.md) applied to reports.
-        if (const int fd = ::open(tmp.c_str(), O_WRONLY); fd >= 0) {
-            ::fsync(fd);
-            ::close(fd);
+        const int fd = ::open(tmp.c_str(),
+                              O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                              0644);
+        if (fd < 0)
+            throw std::runtime_error("JsonReport: cannot open " + tmp);
+        const std::string text = doc.dump(2);
+        const bool wrote = writeFully(fd, text) && ::fsync(fd) == 0;
+        if (::close(fd) != 0 || !wrote) {
+            std::filesystem::remove(tmp, ec);
+            throw std::runtime_error("JsonReport: write failed: " +
+                                     tmp);
         }
         std::filesystem::rename(tmp, path, ec);
         if (ec) {

@@ -1,0 +1,43 @@
+#include "common/io.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/diag.hh"
+
+namespace lrs
+{
+
+bool
+writeFully(int fd, const void *data, std::size_t len) noexcept
+{
+    const char *p = static_cast<const char *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, p + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+writeFullyOrThrow(int fd, std::string_view s,
+                  const std::string &component,
+                  const std::string &path)
+{
+    errno = 0;
+    if (writeFully(fd, s))
+        return;
+    throw IoError(makeDiag(DiagCode::IoWriteFailed, component, "path",
+                           "write failed: " + path + " (" +
+                               std::strerror(errno) + ")"));
+}
+
+} // namespace lrs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Low-level POSIX I/O helpers shared by every durability path.
+ *
+ * Several layers append whole records to file descriptors — the
+ * checkpoint journal, the progress heartbeat stream, the flight
+ * recorder's dump, the isolated-cell result pipe, bench JsonReport
+ * files, and the sweep service's sockets. Each used to open-code its
+ * own write() loop; any copy that forgot EINTR or short-write
+ * continuation risked silently truncated records. writeFully() is the
+ * one shared discipline: it retries on EINTR and continues partial
+ * writes until the buffer is fully on its way or a real error stops
+ * it.
+ */
+
+#ifndef LRS_COMMON_IO_HH
+#define LRS_COMMON_IO_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lrs
+{
+
+/**
+ * Write all @p len bytes of @p data to @p fd, retrying interrupted
+ * calls (EINTR) and continuing short writes. Returns true when every
+ * byte was accepted by the kernel; false on any other error, with
+ * errno describing it. Async-signal-safe (calls only write()), so a
+ * signal handler may use it on a pre-opened descriptor.
+ *
+ * Not for non-blocking descriptors under backpressure: EAGAIN is a
+ * real error here (the sweep service keeps its own buffered
+ * non-blocking send path for sockets).
+ */
+bool writeFully(int fd, const void *data, std::size_t len) noexcept;
+
+inline bool
+writeFully(int fd, std::string_view s) noexcept
+{
+    return writeFully(fd, s.data(), s.size());
+}
+
+/**
+ * writeFully() or throw IoError (DiagCode::IoWriteFailed) naming the
+ * @p component and @p path, with strerror(errno) appended — the
+ * journal-grade loud-failure convention (docs/ROBUSTNESS.md).
+ */
+void writeFullyOrThrow(int fd, std::string_view s,
+                       const std::string &component,
+                       const std::string &path);
+
+} // namespace lrs
+
+#endif // LRS_COMMON_IO_HH

@@ -11,6 +11,7 @@
 
 #include "common/crc.hh"
 #include "common/diag.hh"
+#include "common/io.hh"
 
 namespace lrs
 {
@@ -97,25 +98,15 @@ void
 JournalWriter::append(const json::Value &record)
 {
     const std::string line = journalLine(record);
-    // One write() on an O_APPEND fd: POSIX appends the whole buffer
-    // at the (atomically advanced) end of file, so concurrent
+    // One writeFully() on an O_APPEND fd: POSIX appends the whole
+    // buffer at the (atomically advanced) end of file, so concurrent
     // appenders and a mid-call SIGKILL can tear at most this line,
     // never an earlier one. Short writes are continued; the tail the
     // reader may then see torn is exactly the crash model it resyncs
     // from.
-    std::size_t off = 0;
-    while (off < line.size()) {
-        errno = 0;
-        const ssize_t n =
-            ::write(fd_, line.data() + off, line.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            throwIo(DiagCode::IoWriteFailed, path_,
-                    "journal write failed");
-        }
-        off += static_cast<std::size_t>(n);
-    }
+    errno = 0;
+    if (!writeFully(fd_, line))
+        throwIo(DiagCode::IoWriteFailed, path_, "journal write failed");
     errno = 0;
     if (::fsync(fd_) != 0)
         throwIo(DiagCode::IoWriteFailed, path_, "journal fsync failed");

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/diag.hh"
+#include "common/io.hh"
 #include "common/journal.hh"
 
 namespace lrs
@@ -110,15 +111,9 @@ FlightRecorder::dumpNow()
                           0644);
     if (fd < 0)
         throw ioFail(DiagCode::IoOpenFailed, tmp, "cannot open");
-    std::size_t off = 0;
-    while (off < out.size()) {
-        const ssize_t n =
-            ::write(fd, out.data() + off, out.size() - off);
-        if (n < 0) {
-            ::close(fd);
-            throw ioFail(DiagCode::IoWriteFailed, tmp, "write failed");
-        }
-        off += static_cast<std::size_t>(n);
+    if (!writeFully(fd, out)) {
+        ::close(fd);
+        throw ioFail(DiagCode::IoWriteFailed, tmp, "write failed");
     }
     if (::fsync(fd) != 0 || ::close(fd) != 0)
         throw ioFail(DiagCode::IoWriteFailed, tmp, "sync failed");

@@ -1,0 +1,162 @@
+#include "core/grid.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/diag.hh"
+#include "core/config_io.hh"
+#include "core/runner.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+
+namespace
+{
+
+/** Split a grid-file list value on commas and whitespace. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ',' || c == ' ' || c == '\t') {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+[[noreturn]] void
+throwGrid(const std::string &origin, const std::string &message)
+{
+    throw ConfigError(makeDiag(DiagCode::ConfigInvalid, "core.grid",
+                               "grid", message + " (" + origin + ")"));
+}
+
+std::uint64_t
+parseU64(const std::string &origin, const std::string &key,
+         const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        throwGrid(origin, "bad " + key + " value '" + value + "'");
+    }
+}
+
+} // namespace
+
+BatchGrid
+parseBatchGrid(std::istream &is, const std::string &origin)
+{
+    BatchGrid grid;
+    std::ostringstream cfg_lines;
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string text = line;
+        if (const auto hash = text.find_first_of("#;");
+            hash != std::string::npos)
+            text.erase(hash);
+        const auto eq = text.find('=');
+        if (eq == std::string::npos) {
+            if (text.find_first_not_of(" \t\r") != std::string::npos)
+                cfg_lines << line << '\n'; // let the config parser
+                                           // report the syntax error
+            continue;
+        }
+        auto trim = [](std::string s) {
+            const auto b = s.find_first_not_of(" \t\r");
+            if (b == std::string::npos)
+                return std::string();
+            const auto e = s.find_last_not_of(" \t\r");
+            return s.substr(b, e - b + 1);
+        };
+        const std::string key = trim(text.substr(0, eq));
+        const std::string value = trim(text.substr(eq + 1));
+        if (key == "traces") {
+            grid.traces = splitList(value);
+        } else if (key == "schemes") {
+            for (const auto &name : splitList(value)) {
+                try {
+                    grid.schemes.push_back(parseOrderingScheme(name));
+                } catch (const std::invalid_argument &e) {
+                    throwGrid(origin, e.what());
+                }
+            }
+        } else if (key == "len") {
+            grid.len = parseU64(origin, key, value);
+        } else if (key == "jobs") {
+            grid.jobs =
+                static_cast<unsigned>(parseU64(origin, key, value));
+        } else {
+            cfg_lines << line << '\n';
+        }
+    }
+    std::istringstream cfg_is(cfg_lines.str());
+    try {
+        grid.base = machineConfigFromIni(cfg_is, grid.base);
+    } catch (const ConfigError &) {
+        throw;
+    } catch (const std::invalid_argument &e) {
+        throwGrid(origin, e.what());
+    }
+    if (grid.traces.empty())
+        throwGrid(origin, "grid names no traces");
+    if (grid.schemes.empty())
+        grid.schemes = allSchemes();
+    return grid;
+}
+
+BatchGrid
+parseBatchGridFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed, "core.grid",
+                               "path", "cannot open " + path));
+    }
+    return parseBatchGrid(is, "batch file " + path);
+}
+
+void
+buildGridJobs(const BatchGrid &grid, std::vector<SimJob> &jobs,
+              std::vector<std::string> &keys)
+{
+    jobs.clear();
+    keys.clear();
+    jobs.reserve(grid.cells());
+    keys.reserve(grid.cells());
+    for (const auto &name : grid.traces) {
+        TraceParams tp;
+        try {
+            tp = TraceLibrary::byName(name, grid.len);
+        } catch (const std::invalid_argument &e) {
+            throw ConfigError(makeDiag(DiagCode::ConfigInvalid,
+                                       "core.grid", "traces",
+                                       e.what()));
+        }
+        for (const auto scheme : grid.schemes) {
+            SimJob job;
+            job.trace = tp;
+            job.cfg = grid.base;
+            job.cfg.scheme = scheme;
+            jobs.push_back(std::move(job));
+            keys.push_back(name + "/" + orderingSchemeName(scheme));
+        }
+    }
+}
+
+} // namespace lrs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Batch sweep grids: the (traces × schemes) cross product every
+ * figure bench, `lrs_sim --batch` run and `lrs_simd` submission is
+ * made of.
+ *
+ * A grid is described in a small INI dialect:
+ *
+ *   traces  = wd gcc swim          # required
+ *   schemes = traditional, perfect # optional; default: all schemes
+ *   len     = 200000               # uops per generated trace
+ *   jobs    = 4                    # optional pool-width hint
+ *   sched_window = 64              # any machineConfigFromIni() key
+ *                                  # becomes the shared base config
+ *
+ * Parsing lives here — not in the CLI — because the sweep service
+ * accepts the same text over a socket and must validate it with
+ * exactly the rules the CLI applies (one grammar, one error
+ * taxonomy). All failures are structured ConfigError/IoError diags.
+ */
+
+#ifndef LRS_CORE_GRID_HH
+#define LRS_CORE_GRID_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/parallel.hh"
+
+namespace lrs
+{
+
+/** One parsed grid: the cell axes plus the shared machine config. */
+struct BatchGrid
+{
+    std::vector<std::string> traces;
+    std::vector<OrderingScheme> schemes;
+    std::uint64_t len = 200000;
+    unsigned jobs = 0;
+    MachineConfig base;
+
+    std::size_t cells() const
+    {
+        return traces.size() * schemes.size();
+    }
+};
+
+/**
+ * Parse grid text from @p is. @p origin names the source in
+ * diagnostics ("batch file x.ini", "submission"). Throws ConfigError
+ * on unknown keys, malformed values, or an empty trace list.
+ */
+BatchGrid parseBatchGrid(std::istream &is,
+                         const std::string &origin = "grid");
+
+/** Parse the grid file at @p path (IoError if unreadable). */
+BatchGrid parseBatchGridFile(const std::string &path);
+
+/**
+ * Expand @p grid into its cells, trace-major (the grid order every
+ * report prints): jobs[i] is (trace i/nschemes, scheme i%nschemes)
+ * and keys[i] is "trace/scheme" — the stable identity the checkpoint
+ * journal validates on resume. Throws ConfigError for an unknown
+ * trace name.
+ */
+void buildGridJobs(const BatchGrid &grid, std::vector<SimJob> &jobs,
+                   std::vector<std::string> &keys);
+
+} // namespace lrs
+
+#endif // LRS_CORE_GRID_HH

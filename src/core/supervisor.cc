@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "common/diag.hh"
+#include "common/io.hh"
 #include "core/runner.hh"
 
 namespace lrs
@@ -185,21 +186,10 @@ SweepSupervisor::emitProgress()
     std::string line = hb.dump(0);
     line.push_back('\n');
     // One write per line so a consumer tailing the fd never sees a
-    // torn heartbeat; a failed/partial write retires the stream for
-    // the rest of the sweep (the results are unaffected).
-    std::size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n = ::write(opts_.progressFd,
-                                  line.data() + off,
-                                  line.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            progressDead_ = true;
-            return;
-        }
-        off += static_cast<std::size_t>(n);
-    }
+    // torn heartbeat; a failed write retires the stream for the rest
+    // of the sweep (the results are unaffected).
+    if (!writeFully(opts_.progressFd, line))
+        progressDead_ = true;
 }
 
 void
@@ -278,17 +268,8 @@ SweepSupervisor::runIsolated(const CellRunner &runner, std::size_t cell,
         if (o.status == CellStatus::Ok)
             doc.set("result", o.resultJson);
         const std::string text = doc.dump(0);
-        std::size_t off = 0;
-        while (off < text.size()) {
-            const ssize_t n = ::write(fds[1], text.data() + off,
-                                      text.size() - off);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                ::_exit(3); // parent records CRASHED (no result)
-            }
-            off += static_cast<std::size_t>(n);
-        }
+        if (!writeFully(fds[1], text))
+            ::_exit(3); // parent records CRASHED (no result)
         ::close(fds[1]);
         ::_exit(0);
     }
@@ -477,6 +458,12 @@ SweepSupervisor::runCell(std::size_t cell, unsigned attempt,
     out = std::move(o);
     if (writer_ && completed)
         journalOutcome(cell, key, out);
+    // OK outcomes are final the moment they complete (retries only
+    // re-run failures), so hand them off now — after the journal
+    // record is durable, so a consumer never learns of a result the
+    // journal could still lose. Failures wait for the retry loop.
+    if (opts_.onCell && out.status == CellStatus::Ok)
+        opts_.onCell(cell, out);
     inFlight_.fetch_sub(1, std::memory_order_relaxed);
     if (completed)
         emitProgress();
@@ -520,6 +507,8 @@ SweepSupervisor::run(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) {
         if (outcomes[i].status != CellStatus::Skipped)
             pending.push_back(i);
+        else if (opts_.onCell)
+            opts_.onCell(i, outcomes[i]); // restored: already final
     }
 
     SimJobPool pool(opts_.workers);
@@ -559,6 +548,19 @@ SweepSupervisor::run(std::size_t n,
                 next.push_back(cell);
         }
         pending = std::move(next);
+    }
+
+    // Failures are final only once every retry round has had its
+    // chance; hand the gave-up cells off now, in ascending id.
+    // Interrupt-cut cells are deliberately excluded: --resume will
+    // re-run them, so nothing about them is final yet.
+    if (opts_.onCell && !sweepInterruptRequested()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const JobOutcome &o = outcomes[i];
+            if (o.failed &&
+                o.code != diagCodeName(DiagCode::Interrupted))
+                opts_.onCell(i, o);
+        }
     }
 
     for (const JobOutcome &o : outcomes) {

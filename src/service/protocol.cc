@@ -1,0 +1,149 @@
+#include "service/protocol.hh"
+
+namespace lrs::service
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwProtocol(const std::string &param, const std::string &message)
+{
+    throw ConfigError(makeDiag(DiagCode::ProtocolError,
+                               "service.protocol", param, message));
+}
+
+} // namespace
+
+Request
+parseRequest(const json::Value &v)
+{
+    if (!v.isObject())
+        throwProtocol("", "request is not a JSON object");
+    const json::Value *op = v.find("op");
+    if (!op || !op->isString())
+        throwProtocol("op", "request carries no string \"op\" member");
+
+    Request req;
+    const std::string &name = op->asString();
+    if (name == "submit") {
+        req.op = Request::Op::Submit;
+        const json::Value *grid = v.find("grid");
+        if (!grid || !grid->isString())
+            throwProtocol("grid",
+                          "submit carries no string \"grid\" member");
+        req.grid = grid->asString();
+    } else if (name == "attach") {
+        req.op = Request::Op::Attach;
+        const json::Value *sub = v.find("sub");
+        if (!sub || !sub->isNumber())
+            throwProtocol("sub",
+                          "attach carries no numeric \"sub\" member");
+        req.sub = sub->asU64();
+    } else if (name == "ping") {
+        req.op = Request::Op::Ping;
+    } else if (name == "stats") {
+        req.op = Request::Op::Stats;
+    } else {
+        throwProtocol("op", "unknown op \"" + name + "\"");
+    }
+    return req;
+}
+
+std::string
+encode(const json::Value &record)
+{
+    std::string line = record.dump(0);
+    line.push_back('\n');
+    return line;
+}
+
+json::Value
+ackRecord(std::uint64_t sub, std::uint64_t cells)
+{
+    json::Value r = json::Value::object();
+    r.set("type", "ack");
+    r.set("sub", sub);
+    r.set("cells", cells);
+    return r;
+}
+
+json::Value
+cellRecord(std::uint64_t sub, std::uint64_t cell,
+           const std::string &key, const JobOutcome &o)
+{
+    json::Value r = json::Value::object();
+    r.set("type", "cell");
+    r.set("sub", sub);
+    r.set("cell", cell);
+    r.set("key", key);
+    if (o.status == CellStatus::Ok ||
+        o.status == CellStatus::Skipped) {
+        r.set("status", cellStatusName(CellStatus::Ok));
+        r.set("result", o.resultJson);
+    } else {
+        r.set("status", cellStatusName(o.status));
+        r.set("code", o.code);
+        r.set("error", o.error);
+        if (o.signal)
+            r.set("signal", o.signal);
+    }
+    return r;
+}
+
+json::Value
+doneRecord(std::uint64_t sub, std::uint64_t ok, std::uint64_t failed,
+           std::uint64_t timeout, std::uint64_t crashed)
+{
+    json::Value r = json::Value::object();
+    r.set("type", "done");
+    r.set("sub", sub);
+    r.set("ok", ok);
+    r.set("failed", failed);
+    r.set("timeout", timeout);
+    r.set("crashed", crashed);
+    return r;
+}
+
+json::Value
+errorRecord(const Diag &d, std::uint64_t sub)
+{
+    json::Value r = json::Value::object();
+    r.set("type", "error");
+    if (sub)
+        r.set("sub", sub);
+    r.set("code", diagCodeName(d.code));
+    r.set("component", d.component);
+    if (!d.param.empty())
+        r.set("param", d.param);
+    r.set("message", d.message);
+    return r;
+}
+
+json::Value
+pongRecord()
+{
+    json::Value r = json::Value::object();
+    r.set("type", "pong");
+    return r;
+}
+
+std::string
+submitLine(const std::string &gridText)
+{
+    json::Value r = json::Value::object();
+    r.set("op", "submit");
+    r.set("grid", gridText);
+    return encode(r);
+}
+
+std::string
+attachLine(std::uint64_t sub)
+{
+    json::Value r = json::Value::object();
+    r.set("op", "attach");
+    r.set("sub", sub);
+    return encode(r);
+}
+
+} // namespace lrs::service

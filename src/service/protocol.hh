@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Wire protocol of the sweep service (docs/SERVICE.md).
+ *
+ * Everything on the socket is newline-delimited JSON: one complete
+ * JSON object per line, in both directions. Requests carry an "op"
+ * member; responses carry a "type" member. The record builders and
+ * the request parser live here so the daemon (service/server.hh),
+ * the `lrs_sim --submit` client and the tests agree byte-for-byte on
+ * the frames — the restart-recovery contract compares raw lines.
+ *
+ * Client → server ops:
+ *   {"op":"submit","grid":"<grid INI text>"}   submit a sweep grid
+ *   {"op":"attach","sub":N}                    replay submission N's
+ *                                              stream from the start
+ *   {"op":"ping"}                              liveness probe
+ *   {"op":"stats"}                             server counters
+ *
+ * Server → client records:
+ *   {"type":"ack","sub":N,"cells":M}           submission accepted
+ *                                              (journaled durably
+ *                                              *before* this is sent)
+ *   {"type":"cell","sub":N,"cell":i,"key":..., one per cell, in
+ *    "status":...,"result":{...}}              ascending cell id
+ *   {"type":"done","sub":N,"ok":..,...}        stream complete
+ *   {"type":"error","code":"E_..",...}         structured Diag error
+ *   {"type":"pong"} / {"type":"stats",...}     control replies
+ *
+ * Delivery-order contract: for one submission a client always sees
+ * ack, then cell records in ascending cell id, then done. Because
+ * cell results are deterministic for any worker count (the PR 3/4
+ * contract) and resumed cells re-emit their journaled result bytes,
+ * the concatenated stream is byte-identical whether the sweep ran
+ * uninterrupted or the daemon was SIGKILLed and restarted mid-sweep.
+ */
+
+#ifndef LRS_SERVICE_PROTOCOL_HH
+#define LRS_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/diag.hh"
+#include "common/json.hh"
+#include "core/parallel.hh"
+
+namespace lrs::service
+{
+
+constexpr int kProtocolVersion = 1;
+
+/** One parsed client request line. */
+struct Request
+{
+    enum class Op
+    {
+        Submit,
+        Attach,
+        Ping,
+        Stats,
+    };
+
+    Op op = Op::Ping;
+    std::string grid;      ///< Submit: grid INI text
+    std::uint64_t sub = 0; ///< Attach: submission id
+};
+
+/**
+ * Parse one request object. Throws ConfigError
+ * (DiagCode::ProtocolError) naming the defect when the object is not
+ * a request the protocol knows.
+ */
+Request parseRequest(const json::Value &v);
+
+/** Serialise any record to its wire form: compact JSON + '\n'. */
+std::string encode(const json::Value &record);
+
+// --- record builders (field order is part of the wire contract) ---
+
+json::Value ackRecord(std::uint64_t sub, std::uint64_t cells);
+
+/**
+ * One cell's final outcome. Journal-restored (Skipped) cells are
+ * emitted as "OK" with their stored result bytes — a client must not
+ * be able to tell a resumed sweep from an uninterrupted one.
+ * Attempt counts are deliberately omitted from OK records for the
+ * same reason (a restored cell ran zero times this process).
+ */
+json::Value cellRecord(std::uint64_t sub, std::uint64_t cell,
+                       const std::string &key, const JobOutcome &o);
+
+json::Value doneRecord(std::uint64_t sub, std::uint64_t ok,
+                       std::uint64_t failed, std::uint64_t timeout,
+                       std::uint64_t crashed);
+
+/** Structured error; @p sub 0 means "not submission-scoped". */
+json::Value errorRecord(const Diag &d, std::uint64_t sub = 0);
+
+json::Value pongRecord();
+
+// --- client-side request lines (lrs_sim --submit) ---
+
+std::string submitLine(const std::string &gridText);
+std::string attachLine(std::uint64_t sub);
+
+} // namespace lrs::service
+
+#endif // LRS_SERVICE_PROTOCOL_HH

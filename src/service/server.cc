@@ -1,0 +1,969 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/runner.hh"
+#include "core/supervisor.hh"
+#include "service/protocol.hh"
+
+namespace lrs::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void
+throwIoErrno(const std::string &param, const std::string &what)
+{
+    throw IoError(makeDiag(DiagCode::IoOpenFailed, "service.server",
+                           param,
+                           what + " (" +
+                               std::string(std::strerror(errno)) +
+                               ")"));
+}
+
+void
+setNonBlockingCloexec(int fd)
+{
+    int fl = ::fcntl(fd, F_GETFL);
+    if (fl >= 0)
+        ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    int fdfl = ::fcntl(fd, F_GETFD);
+    if (fdfl >= 0)
+        ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
+}
+
+void
+closeIf(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server()
+{
+    if (loopThread_.joinable() || schedThread_.joinable())
+        stop(false);
+}
+
+void
+Server::start()
+{
+    if (opts_.stateDir.empty())
+        throwConfig("service.server", "state_dir",
+                    "a state directory is required (the request and "
+                    "cell journals live there)");
+    if (opts_.socketPath.empty() && opts_.tcpPort < 0)
+        throwConfig("service.server", "listen",
+                    "no listener configured: set a socket path "
+                    "and/or a TCP port");
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.stateDir, ec);
+    if (ec)
+        throwIoErrno("state_dir", "cannot create state directory " +
+                                      opts_.stateDir);
+
+    recoverState();
+    requestJournal_ = std::make_unique<JournalWriter>(
+        opts_.stateDir + "/requests.jsonl", /*truncate=*/false);
+
+    if (!opts_.socketPath.empty()) {
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        if (opts_.socketPath.size() >= sizeof(sa.sun_path))
+            throwConfig("service.server", "socket",
+                        "socket path too long: " + opts_.socketPath);
+        std::strncpy(sa.sun_path, opts_.socketPath.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd_ < 0)
+            throwIoErrno("socket", "cannot create Unix socket");
+        ::unlink(opts_.socketPath.c_str());
+        if (::bind(unixFd_, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) != 0)
+            throwIoErrno("socket",
+                         "cannot bind " + opts_.socketPath);
+        if (::listen(unixFd_, 64) != 0)
+            throwIoErrno("socket",
+                         "cannot listen on " + opts_.socketPath);
+        setNonBlockingCloexec(unixFd_);
+    }
+    if (opts_.tcpPort >= 0) {
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcpFd_ < 0)
+            throwIoErrno("tcp_port", "cannot create TCP socket");
+        int one = 1;
+        ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in sa{};
+        sa.sin_family = AF_INET;
+        sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        sa.sin_port =
+            htons(static_cast<std::uint16_t>(opts_.tcpPort));
+        if (::bind(tcpFd_, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) != 0)
+            throwIoErrno("tcp_port",
+                         "cannot bind 127.0.0.1:" +
+                             std::to_string(opts_.tcpPort));
+        if (::listen(tcpFd_, 64) != 0)
+            throwIoErrno("tcp_port", "cannot listen");
+        socklen_t len = sizeof(sa);
+        if (::getsockname(tcpFd_, reinterpret_cast<sockaddr *>(&sa),
+                          &len) == 0)
+            resolvedTcpPort_ = ntohs(sa.sin_port);
+        setNonBlockingCloexec(tcpFd_);
+    }
+
+    int p[2];
+    if (::pipe(p) != 0)
+        throwIoErrno("wake_pipe", "cannot create wake pipe");
+    wakeR_ = p[0];
+    wakeW_ = p[1];
+    setNonBlockingCloexec(wakeR_);
+    setNonBlockingCloexec(wakeW_);
+
+    schedThread_ = std::thread([this] { schedulerLoop(); });
+    loopThread_ = std::thread([this] { eventLoop(); });
+}
+
+void
+Server::requestStop() noexcept
+{
+    stopRequested_.store(true, std::memory_order_relaxed);
+    wakeLoop();
+}
+
+void
+Server::stop(bool drain)
+{
+    if (drain) {
+        requestStop();
+    } else {
+        hardStop_.store(true, std::memory_order_relaxed);
+        requestSweepInterrupt();
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            schedStop_ = true;
+        }
+        cvSched_.notify_all();
+        wakeLoop();
+    }
+    if (loopThread_.joinable())
+        loopThread_.join();
+    if (schedThread_.joinable())
+        schedThread_.join();
+    // The drain path (and the hard path above) raised the process-
+    // wide sweep interrupt; clear it only after both threads are
+    // gone, so a later Server in this process starts clean.
+    clearSweepInterrupt();
+    closeIf(wakeR_);
+    closeIf(wakeW_);
+}
+
+void
+Server::wait()
+{
+    std::unique_lock<std::mutex> lk(waitM_);
+    cvWait_.wait(lk, [this] {
+        return loopExited_.load(std::memory_order_acquire);
+    });
+}
+
+ServerStats
+Server::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+std::uint64_t
+Server::completedSubmissions() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::uint64_t n = 0;
+    for (const auto &sub : subs_)
+        if (sub->state == SubState::Done)
+            ++n;
+    return n;
+}
+
+void
+Server::wakeLoop() noexcept
+{
+    if (wakeW_ >= 0) {
+        const char b = 0;
+        // Best effort: a full pipe means a wake-up is already queued.
+        [[maybe_unused]] ssize_t r = ::write(wakeW_, &b, 1);
+    }
+}
+
+// --------------------------------------------------------------------
+// Recovery and the request journal
+// --------------------------------------------------------------------
+
+void
+Server::recoverState()
+{
+    const std::string path = opts_.stateDir + "/requests.jsonl";
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return;
+    JournalReadStats jrs;
+    const std::vector<json::Value> recs = readJournal(path, &jrs);
+    for (const json::Value &rec : recs) {
+        try {
+            if (!rec.isObject() || rec.at("v").asU64() != 1 ||
+                rec.at("op").asString() != "submit")
+                continue;
+            auto sub = std::make_unique<Submission>();
+            sub->id = rec.at("sub").asU64();
+            sub->clientId = 0;
+            sub->gridText = rec.at("grid").asString();
+            std::istringstream is(sub->gridText);
+            sub->grid = parseBatchGrid(is, "recovered submission " +
+                                               std::to_string(sub->id));
+            buildGridJobs(sub->grid, sub->jobs, sub->keys);
+            sub->resume = true; // reuse the cell journal, if any
+            sub->outcomes.resize(sub->jobs.size());
+            sub->ready.assign(sub->jobs.size(), 0);
+            nextSubId_ = std::max(nextSubId_, sub->id + 1);
+            ++stats_.recovered;
+            subs_.push_back(std::move(sub));
+        } catch (const std::exception &e) {
+            // A record that validated its CRC but no longer parses
+            // means the journal schema/content is damaged beyond this
+            // record; drop it loudly and keep the rest.
+            std::fprintf(stderr,
+                         "lrs_simd: dropping unusable request journal "
+                         "record: %s\n",
+                         e.what());
+        }
+    }
+    if (jrs.badLines || jrs.truncatedTail)
+        std::fprintf(stderr,
+                     "lrs_simd: request journal recovery dropped "
+                     "%llu damaged line(s)%s\n",
+                     static_cast<unsigned long long>(jrs.badLines),
+                     jrs.truncatedTail ? " (torn tail)" : "");
+}
+
+void
+Server::journalRequest(const Submission &sub)
+{
+    json::Value rec = json::Value::object();
+    rec.set("v", 1);
+    rec.set("op", "submit");
+    rec.set("sub", sub.id);
+    rec.set("grid", sub.gridText);
+    requestJournal_->append(rec); // durable (fsync) on return
+}
+
+// --------------------------------------------------------------------
+// Scheduler thread
+// --------------------------------------------------------------------
+
+Server::Submission *
+Server::findSub(std::uint64_t id)
+{
+    for (const auto &sub : subs_)
+        if (sub->id == id)
+            return sub.get();
+    return nullptr;
+}
+
+Server::Submission *
+Server::pickNext()
+{
+    // Fair share across clients: among the clients with queued
+    // submissions, take the one whose id follows the last scheduled
+    // client (wrapping), then that client's oldest submission — so a
+    // client that queued four grids cannot starve a sibling's one.
+    Submission *best = nullptr;
+    bool bestWrapped = true;
+    std::uint64_t bestClient = 0;
+    for (const auto &sub : subs_) {
+        if (sub->state != SubState::Queued)
+            continue;
+        const bool wrapped = sub->clientId <= lastScheduledClient_;
+        if (best &&
+            (wrapped == bestWrapped
+                 ? sub->clientId >= bestClient
+                 : wrapped)) // prefer not-wrapped candidates
+            continue;
+        best = sub.get();
+        bestWrapped = wrapped;
+        bestClient = sub->clientId;
+    }
+    return best;
+}
+
+void
+Server::schedulerLoop()
+{
+    while (true) {
+        Submission *sub = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvSched_.wait(lk, [this] {
+                return schedStop_ || pickNext() != nullptr;
+            });
+            if (schedStop_)
+                break;
+            sub = pickNext();
+            sub->state = SubState::Running;
+            lastScheduledClient_ = sub->clientId;
+        }
+        runSubmission(*sub);
+    }
+    schedExited_.store(true, std::memory_order_release);
+    wakeLoop();
+}
+
+void
+Server::runSubmission(Submission &sub)
+{
+    SweepOptions so;
+    so.journalPath = opts_.stateDir + "/sub_" +
+                     std::to_string(sub.id) + ".cells.jsonl";
+    so.resume = sub.resume;
+    so.retries = opts_.retries;
+    so.isolate = opts_.isolate;
+    so.cellTimeoutMs = opts_.cellTimeoutMs;
+    so.workers = sub.grid.jobs ? sub.grid.jobs : opts_.workers;
+    so.onCell = [this, &sub](std::size_t cell, const JobOutcome &o) {
+        std::lock_guard<std::mutex> lk(m_);
+        sub.outcomes[cell] = o;
+        sub.ready[cell] = 1;
+        wakeLoop();
+    };
+
+    try {
+        SweepSupervisor sup(so);
+        std::vector<JobOutcome> outcomes = sup.run(sub.jobs, sub.keys);
+        std::lock_guard<std::mutex> lk(m_);
+        if (sup.interrupted()) {
+            // Drain cut the sweep short. Journaled cells stand; the
+            // submission goes back to Queued so a restarted daemon
+            // (recoverState) resumes it exactly here.
+            sub.interrupted = true;
+            sub.resume = true;
+            sub.state = SubState::Queued;
+        } else {
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                sub.outcomes[i] = std::move(outcomes[i]);
+                sub.ready[i] = 1;
+            }
+            sub.ok = sub.failed = sub.timeout = sub.crashed = 0;
+            for (const JobOutcome &o : sub.outcomes) {
+                switch (o.status) {
+                  case CellStatus::Ok:
+                  case CellStatus::Skipped: ++sub.ok;      break;
+                  case CellStatus::Failed:  ++sub.failed;  break;
+                  case CellStatus::Timeout: ++sub.timeout; break;
+                  case CellStatus::Crashed: ++sub.crashed; break;
+                }
+            }
+            sub.state = SubState::Done;
+        }
+    } catch (const std::exception &e) {
+        // Supervisor-level failure (journal I/O, invalid journal).
+        // The submission stays recoverable: journaled work is intact
+        // and a restart retries it.
+        std::fprintf(stderr,
+                     "lrs_simd: submission %llu supervisor error: "
+                     "%s\n",
+                     static_cast<unsigned long long>(sub.id),
+                     e.what());
+        std::lock_guard<std::mutex> lk(m_);
+        sub.interrupted = true;
+        sub.resume = true;
+        sub.state = SubState::Queued;
+    }
+    wakeLoop();
+}
+
+// --------------------------------------------------------------------
+// Event-loop thread
+// --------------------------------------------------------------------
+
+unsigned
+Server::pendingSubsOf(std::uint64_t clientId) const
+{
+    unsigned n = 0;
+    for (const auto &sub : subs_)
+        if (sub->clientId == clientId &&
+            sub->state != SubState::Done)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+Server::pendingCellsOf(const Session &s) const
+{
+    std::uint64_t n = 0;
+    for (const Watch &w : s.watches) {
+        if (w.doneSent)
+            continue;
+        for (const auto &sub : subs_) {
+            if (sub->id == w.subId) {
+                const std::uint64_t total = sub->outcomes.size();
+                n += total - std::min<std::uint64_t>(w.nextCell,
+                                                     total);
+                break;
+            }
+        }
+    }
+    return n;
+}
+
+void
+Server::sendRecord(Session &s, const json::Value &record)
+{
+    s.outBuf += encode(record);
+}
+
+void
+Server::sendError(Session &s, DiagCode code, const std::string &param,
+                  const std::string &message, std::uint64_t sub,
+                  bool fatal)
+{
+    sendRecord(s,
+               errorRecord(makeDiag(code, "service.server", param,
+                                    message),
+                           sub));
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (code == DiagCode::QuotaExceeded)
+            ++stats_.quotaRejects;
+        else
+            ++stats_.protocolErrors;
+    }
+    if (fatal) {
+        s.dropAfterFlush = true;
+        // Stop consuming input; the owed bytes still flush out.
+        ::shutdown(s.fd, SHUT_RD);
+    }
+}
+
+void
+Server::pumpWatches(Session &s)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    for (Watch &w : s.watches) {
+        if (w.doneSent)
+            continue;
+        Submission *sub = findSub(w.subId);
+        if (!sub) {
+            w.doneSent = true;
+            continue;
+        }
+        const std::uint64_t total = sub->outcomes.size();
+        while (w.nextCell < total && sub->ready[w.nextCell]) {
+            if (s.outBuf.size() >= opts_.maxOutBufBytes) {
+                // Slow reader: stop generating, keep the cursor. The
+                // next successful flush resumes exactly here.
+                if (!s.paused) {
+                    s.paused = true;
+                    ++stats_.deliveryPauses;
+                }
+                return;
+            }
+            s.outBuf += encode(cellRecord(
+                sub->id, w.nextCell,
+                sub->keys[static_cast<std::size_t>(w.nextCell)],
+                sub->outcomes[static_cast<std::size_t>(w.nextCell)]));
+            ++stats_.cellsDelivered;
+            ++w.nextCell;
+        }
+        if (w.nextCell == total && sub->state == SubState::Done) {
+            sendRecord(s, doneRecord(sub->id, sub->ok, sub->failed,
+                                     sub->timeout, sub->crashed));
+            w.doneSent = true;
+        }
+    }
+    s.paused = false;
+}
+
+void
+Server::handleSubmit(Session &s, const std::string &gridText)
+{
+    if (draining_) {
+        sendError(s, DiagCode::Draining, "",
+                  "the service is draining; resubmit after restart");
+        return;
+    }
+    BatchGrid grid;
+    std::vector<SimJob> jobs;
+    std::vector<std::string> keys;
+    try {
+        std::istringstream is(gridText);
+        grid = parseBatchGrid(is, "submission");
+        grid.base.validateOrThrow();
+        buildGridJobs(grid, jobs, keys);
+    } catch (const ConfigError &e) {
+        const Diag &d = e.diags().front();
+        sendError(s, d.code, d.param,
+                  "[" + d.component + "] " + d.message);
+        return;
+    }
+    std::string quotaWhy;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (pendingSubsOf(s.id) >= opts_.maxPendingSubs) {
+            quotaWhy = "client already has " +
+                       std::to_string(opts_.maxPendingSubs) +
+                       " unfinished submission(s)";
+        } else if (grid.cells() > opts_.maxCellsPerSub) {
+            quotaWhy = "grid has " + std::to_string(grid.cells()) +
+                       " cells; the cap is " +
+                       std::to_string(opts_.maxCellsPerSub);
+        } else if (pendingCellsOf(s) + grid.cells() >
+                   opts_.maxPendingCells) {
+            quotaWhy = "submission would exceed " +
+                       std::to_string(opts_.maxPendingCells) +
+                       " undelivered cells for this client";
+        } else {
+            auto sub = std::make_unique<Submission>();
+            sub->id = nextSubId_++;
+            sub->clientId = s.id;
+            sub->gridText = gridText;
+            sub->grid = std::move(grid);
+            sub->jobs = std::move(jobs);
+            sub->keys = std::move(keys);
+            sub->outcomes.resize(sub->jobs.size());
+            sub->ready.assign(sub->jobs.size(), 0);
+            Submission *raw = sub.get();
+            try {
+                journalRequest(*raw); // durable BEFORE the ack
+            } catch (const IoError &e) {
+                sendRecord(s, errorRecord(e.diags().front()));
+                ++stats_.protocolErrors;
+                return;
+            }
+            subs_.push_back(std::move(sub));
+            ++stats_.submissions;
+            s.watches.push_back(Watch{raw->id, 0, false});
+            sendRecord(s, ackRecord(raw->id, raw->outcomes.size()));
+            cvSched_.notify_one();
+            return;
+        }
+    }
+    sendError(s, DiagCode::QuotaExceeded, "", quotaWhy);
+}
+
+void
+Server::handleAttach(Session &s, std::uint64_t subId)
+{
+    enum { Ok, Missing, Quota } verdict;
+    std::uint64_t cells = 0;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        Submission *sub = findSub(subId);
+        if (!sub) {
+            verdict = Missing;
+        } else if (pendingCellsOf(s) + sub->outcomes.size() >
+                   opts_.maxPendingCells) {
+            verdict = Quota;
+        } else {
+            verdict = Ok;
+            cells = sub->outcomes.size();
+            s.watches.push_back(Watch{subId, 0, false});
+            sendRecord(s, ackRecord(subId, cells));
+        }
+    }
+    switch (verdict) {
+      case Ok:
+        pumpWatches(s); // replay whatever is already final
+        return;
+      case Missing:
+        sendError(s, DiagCode::NotFound, "sub",
+                  "no submission " + std::to_string(subId) +
+                      " in this state directory",
+                  subId);
+        return;
+      case Quota:
+        sendError(s, DiagCode::QuotaExceeded, "sub",
+                  "attaching submission " + std::to_string(subId) +
+                      " would exceed " +
+                      std::to_string(opts_.maxPendingCells) +
+                      " undelivered cells for this client",
+                  subId);
+        return;
+    }
+}
+
+void
+Server::handleLine(Session &s, const std::string &line)
+{
+    s.lastActivity = Clock::now();
+    json::Value v;
+    try {
+        v = json::Value::parse(line);
+    } catch (const json::ParseError &e) {
+        sendError(s, DiagCode::ProtocolError, "",
+                  std::string("request is not valid JSON: ") +
+                      e.what());
+        return;
+    }
+    Request req;
+    try {
+        req = parseRequest(v);
+    } catch (const ConfigError &e) {
+        const Diag &d = e.diags().front();
+        sendError(s, d.code, d.param, d.message);
+        return;
+    }
+    switch (req.op) {
+      case Request::Op::Ping:
+        sendRecord(s, pongRecord());
+        return;
+      case Request::Op::Stats: {
+        json::Value r = json::Value::object();
+        std::lock_guard<std::mutex> lk(m_);
+        r.set("type", "stats");
+        r.set("accepted", stats_.accepted);
+        r.set("rejected_clients", stats_.rejectedClients);
+        r.set("submissions", stats_.submissions);
+        r.set("recovered", stats_.recovered);
+        r.set("protocol_errors", stats_.protocolErrors);
+        r.set("quota_rejects", stats_.quotaRejects);
+        r.set("delivery_pauses", stats_.deliveryPauses);
+        r.set("idle_reaps", stats_.idleReaps);
+        r.set("cells_delivered", stats_.cellsDelivered);
+        std::uint64_t done = 0;
+        for (const auto &sub : subs_)
+            if (sub->state == SubState::Done)
+                ++done;
+        r.set("completed", done);
+        sendRecord(s, r);
+        return;
+      }
+      case Request::Op::Submit:
+        handleSubmit(s, req.grid);
+        return;
+      case Request::Op::Attach:
+        handleAttach(s, req.sub);
+        return;
+    }
+}
+
+void
+Server::handleAccept(int listenFd, bool isUnix)
+{
+    while (true) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN or a transient accept error
+        }
+        if (sessions_.size() >= opts_.maxClients) {
+            // Over capacity: one structured refusal, then close.
+            Diag d = makeDiag(DiagCode::QuotaExceeded,
+                              "service.server", "max_clients",
+                              "the service is at its connection "
+                              "limit (" +
+                                  std::to_string(opts_.maxClients) +
+                                  ")");
+            const std::string line = encode(errorRecord(d));
+            (void)::send(fd, line.data(), line.size(),
+                         MSG_NOSIGNAL | MSG_DONTWAIT);
+            ::close(fd);
+            std::lock_guard<std::mutex> lk(m_);
+            ++stats_.rejectedClients;
+            continue;
+        }
+        setNonBlockingCloexec(fd);
+        if (opts_.sndBufBytes > 0)
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                         &opts_.sndBufBytes,
+                         sizeof(opts_.sndBufBytes));
+        auto s = std::make_unique<Session>();
+        s->fd = fd;
+        s->isUnix = isUnix;
+        s->lastActivity = Clock::now();
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            s->id = nextClientId_++;
+            ++stats_.accepted;
+        }
+        sessions_[fd] = std::move(s);
+    }
+}
+
+void
+Server::closeSession(Session &s)
+{
+    if (s.fd >= 0) {
+        ::close(s.fd);
+        s.fd = -1; // reaped by the loop's sweep
+    }
+}
+
+void
+Server::handleReadable(Session &s)
+{
+    char buf[65536];
+    while (s.fd >= 0) {
+        const ssize_t n = ::recv(s.fd, buf, sizeof(buf), 0);
+        if (n == 0) {
+            // EOF. After a fatal error we shut down our own read
+            // side, so this is expected — keep the session until the
+            // owed error record flushes. A genuine disconnect closes
+            // now; journaled submissions keep running (results stay
+            // attachable) and nothing leaks.
+            if (!s.dropAfterFlush)
+                closeSession(s);
+            return;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            closeSession(s);
+            return;
+        }
+        if (s.dropAfterFlush)
+            continue; // discard: the connection is already doomed
+        s.inBuf.append(buf, static_cast<std::size_t>(n));
+        std::size_t pos;
+        while (s.fd >= 0 &&
+               (pos = s.inBuf.find('\n')) != std::string::npos) {
+            std::string line = s.inBuf.substr(0, pos);
+            s.inBuf.erase(0, pos + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (line.size() > opts_.maxLineBytes) {
+                sendError(s, DiagCode::ProtocolError, "",
+                          "request line exceeds " +
+                              std::to_string(opts_.maxLineBytes) +
+                              " bytes",
+                          0, /*fatal=*/true);
+                break;
+            }
+            handleLine(s, line);
+        }
+        if (s.fd >= 0 && !s.dropAfterFlush &&
+            s.inBuf.size() > opts_.maxLineBytes) {
+            sendError(s, DiagCode::ProtocolError, "",
+                      "request line exceeds " +
+                          std::to_string(opts_.maxLineBytes) +
+                          " bytes without a newline",
+                      0, /*fatal=*/true);
+            s.inBuf.clear();
+        }
+    }
+}
+
+void
+Server::handleWritable(Session &s)
+{
+    while (s.fd >= 0 && !s.outBuf.empty()) {
+        const ssize_t n = ::send(s.fd, s.outBuf.data(),
+                                 s.outBuf.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            closeSession(s); // EPIPE/ECONNRESET: reader is gone
+            return;
+        }
+        s.outBuf.erase(0, static_cast<std::size_t>(n));
+        s.lastActivity = Clock::now();
+    }
+    if (s.fd >= 0 && s.outBuf.empty() && s.dropAfterFlush)
+        closeSession(s);
+}
+
+void
+Server::beginDrain()
+{
+    draining_ = true;
+    drainDeadline_ =
+        Clock::now() + std::chrono::milliseconds(opts_.drainTimeoutMs);
+    closeIf(unixFd_);
+    closeIf(tcpFd_);
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    // Running cells finish (and journal, and deliver); queued cells
+    // are cut and will resume on the next start from this state dir.
+    requestSweepInterrupt();
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        schedStop_ = true;
+    }
+    cvSched_.notify_all();
+}
+
+void
+Server::finishDrain()
+{
+    for (auto &kv : sessions_)
+        closeSession(*kv.second);
+    sessions_.clear();
+}
+
+void
+Server::eventLoop()
+{
+    std::vector<pollfd> pfds;
+    std::vector<Session *> polled;
+    while (true) {
+        if (hardStop_.load(std::memory_order_relaxed))
+            break;
+        if (stopRequested_.load(std::memory_order_relaxed) &&
+            !draining_)
+            beginDrain();
+
+        // Generate owed bytes before deciding anything: new-ready
+        // cells become cell records, finished sweeps become "done".
+        for (auto &kv : sessions_) {
+            if (kv.second->fd >= 0) {
+                pumpWatches(*kv.second);
+                handleWritable(*kv.second); // opportunistic flush
+            }
+        }
+        // Reap sessions closed during pump/flush.
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            if (it->second->fd < 0)
+                it = sessions_.erase(it);
+            else
+                ++it;
+        }
+
+        if (draining_) {
+            bool owed = false;
+            for (const auto &kv : sessions_)
+                if (!kv.second->outBuf.empty())
+                    owed = true;
+            const bool schedDone =
+                schedExited_.load(std::memory_order_acquire);
+            if ((schedDone && !owed) ||
+                Clock::now() >= drainDeadline_)
+                break;
+        }
+
+        pfds.clear();
+        polled.clear();
+        pfds.push_back(pollfd{wakeR_, POLLIN, 0});
+        if (!draining_) {
+            if (unixFd_ >= 0)
+                pfds.push_back(pollfd{unixFd_, POLLIN, 0});
+            if (tcpFd_ >= 0)
+                pfds.push_back(pollfd{tcpFd_, POLLIN, 0});
+        }
+        const std::size_t firstSession = pfds.size();
+        for (auto &kv : sessions_) {
+            Session &s = *kv.second;
+            short ev = POLLIN;
+            if (!s.outBuf.empty())
+                ev |= POLLOUT;
+            pfds.push_back(pollfd{s.fd, ev, 0});
+            polled.push_back(&s);
+        }
+
+        const int rc = ::poll(pfds.data(),
+                              static_cast<nfds_t>(pfds.size()), 100);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // poll itself failed: unrecoverable loop state
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            char drain[256];
+            while (::read(wakeR_, drain, sizeof(drain)) > 0) {
+            }
+        }
+        std::size_t idx = 1;
+        if (!draining_) {
+            if (unixFd_ >= 0) {
+                if (pfds[idx].revents & POLLIN)
+                    handleAccept(unixFd_, true);
+                ++idx;
+            }
+            if (tcpFd_ >= 0) {
+                if (pfds[idx].revents & POLLIN)
+                    handleAccept(tcpFd_, false);
+                ++idx;
+            }
+        }
+        for (std::size_t i = 0; i < polled.size(); ++i) {
+            Session &s = *polled[i];
+            const short re = pfds[firstSession + i].revents;
+            if (s.fd < 0)
+                continue;
+            if (re & (POLLERR | POLLNVAL)) {
+                closeSession(s);
+                continue;
+            }
+            if (re & POLLOUT)
+                handleWritable(s);
+            if (s.fd >= 0 && (re & (POLLIN | POLLHUP)))
+                handleReadable(s);
+        }
+
+        if (opts_.idleTimeoutMs > 0) {
+            const auto now = Clock::now();
+            for (auto &kv : sessions_) {
+                Session &s = *kv.second;
+                if (s.fd < 0)
+                    continue;
+                const auto idle =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(now -
+                                                   s.lastActivity)
+                        .count();
+                if (static_cast<std::uint64_t>(idle) >
+                    opts_.idleTimeoutMs) {
+                    closeSession(s);
+                    std::lock_guard<std::mutex> lk(m_);
+                    ++stats_.idleReaps;
+                }
+            }
+        }
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            if (it->second->fd < 0)
+                it = sessions_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    finishDrain();
+    closeIf(unixFd_);
+    closeIf(tcpFd_);
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    {
+        std::lock_guard<std::mutex> lk(waitM_);
+        loopExited_.store(true, std::memory_order_release);
+    }
+    cvWait_.notify_all();
+}
+
+} // namespace lrs::service

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * lrs_simd — crash-tolerant sweep service (docs/SERVICE.md).
+ *
+ * The Server accepts newline-delimited JSON requests (protocol.hh)
+ * over a Unix-domain socket and, optionally, a loopback TCP socket,
+ * validates submitted grids with the same MachineConfig / grid
+ * machinery the CLI uses, runs them through the sweep supervisor and
+ * streams per-cell results back as they finish. Its whole design
+ * follows from two robustness contracts:
+ *
+ * **Durability before acknowledgment.** A submission is appended to a
+ * CRC-framed request journal (common/journal.hh) and fsync()ed before
+ * its "ack" record is sent. Each submission's cells then checkpoint
+ * through the standard SweepSupervisor journal in the same state
+ * directory. A daemon SIGKILLed mid-sweep and restarted on that state
+ * directory therefore recovers every accepted submission, resumes its
+ * unfinished cells, and — because cell results are deterministic and
+ * resumed cells replay their journaled bytes — re-delivers a stream
+ * **byte-identical** to the one an uninterrupted daemon would have
+ * produced. The chaos drill in tools/chaos_sweep.sh enforces this.
+ *
+ * **Misbehaving clients cannot take the service down.** Admission
+ * control rejects malformed JSON, unknown ops, oversized lines and
+ * oversized grids with structured "error" records instead of dying;
+ * per-client quotas (pending submissions, in-flight cells) bound what
+ * one connection can occupy; per-connection output buffers are capped
+ * so a slow reader pauses its own result stream (backpressure) rather
+ * than growing the daemon without bound; and idle connections are
+ * reaped. One client's rejection or disconnect never disturbs a
+ * sibling — a disconnected client's journaled submissions even keep
+ * running to completion, attachable later.
+ *
+ * Threading: one event-loop thread owns every socket (poll(), all fds
+ * non-blocking, EINTR-safe); one scheduler thread runs submissions
+ * sequentially (each internally parallel via SweepOptions::workers)
+ * and hands finished cells back under a mutex; a self-pipe wakes the
+ * loop from the scheduler and from signal handlers. Shutdown is a
+ * drain: stop accepting, refuse new submissions (E_DRAINING),
+ * interrupt the running sweep cooperatively (journaled work stands),
+ * flush what each client is owed, then exit.
+ */
+
+#ifndef LRS_SERVICE_SERVER_HH
+#define LRS_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/diag.hh"
+#include "common/journal.hh"
+#include "core/grid.hh"
+#include "core/parallel.hh"
+
+namespace lrs::service
+{
+
+/** Deployment and admission-control knobs of one Server. */
+struct ServerOptions
+{
+    /** Unix-domain listening socket path; empty disables. */
+    std::string socketPath;
+    /**
+     * Loopback TCP port; -1 disables, 0 binds an ephemeral port
+     * (read the resolved one back via tcpPort()). Binds 127.0.0.1
+     * only — the protocol has no authentication.
+     */
+    int tcpPort = -1;
+    /**
+     * State directory: requests.jsonl (the request journal) plus one
+     * sub_<id>.cells.jsonl cell journal per submission. Restarting a
+     * daemon on the same directory recovers and resumes everything
+     * it had accepted. Required.
+     */
+    std::string stateDir;
+
+    // --- sweep execution (forwarded to SweepOptions) ---
+    unsigned workers = 0;        ///< 0 = LRS_JOBS / hw concurrency
+    unsigned retries = 0;        ///< per-cell retry budget
+    bool isolate = false;        ///< fork-per-cell isolation
+    std::uint64_t cellTimeoutMs = 0; ///< watchdog (isolate only)
+
+    // --- admission control and quotas ---
+    unsigned maxClients = 64;          ///< concurrent connections
+    std::size_t maxLineBytes = 1 << 20;    ///< request line cap
+    std::size_t maxOutBufBytes = 4 << 20;  ///< per-client send cap
+    /** SO_SNDBUF for accepted sockets; 0 keeps the kernel default.
+     *  The backpressure tests shrink it so the userspace cap (not
+     *  the kernel's) is what a slow reader runs into. */
+    int sndBufBytes = 0;
+    unsigned maxPendingSubs = 4;       ///< queued+running subs/client
+    std::uint64_t maxCellsPerSub = 4096;   ///< grid size cap
+    std::uint64_t maxPendingCells = 8192;  ///< undelivered cells/client
+    std::uint64_t idleTimeoutMs = 0;   ///< reap idle clients; 0 = off
+    std::uint64_t drainTimeoutMs = 3000; ///< flush budget on drain
+};
+
+/** Monotonic service counters (the "stats" op reports these). */
+struct ServerStats
+{
+    std::uint64_t accepted = 0;        ///< connections accepted
+    std::uint64_t rejectedClients = 0; ///< over maxClients
+    std::uint64_t submissions = 0;     ///< grids accepted
+    std::uint64_t recovered = 0;       ///< submissions from journal
+    std::uint64_t protocolErrors = 0;  ///< error records sent
+    std::uint64_t quotaRejects = 0;    ///< E_QUOTA_EXCEEDED sent
+    std::uint64_t deliveryPauses = 0;  ///< backpressure engagements
+    std::uint64_t idleReaps = 0;       ///< idle connections closed
+    std::uint64_t cellsDelivered = 0;  ///< cell records sent
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind listeners, recover journaled submissions from stateDir,
+     * then launch the event-loop and scheduler threads. Throws
+     * ConfigError/IoError on invalid options or bind failure.
+     */
+    void start();
+
+    /**
+     * Ask the server to drain: async-signal-safe (called from the
+     * daemon's SIGTERM/SIGINT handler). The event loop stops
+     * accepting, refuses new submissions, interrupts the running
+     * sweep, flushes clients (bounded by drainTimeoutMs) and exits.
+     */
+    void requestStop() noexcept;
+
+    /**
+     * Stop and join both threads. @p drain waits for the drain
+     * sequence; false tears down immediately (the crash-simulation
+     * path used by restart-recovery tests — journaled state survives
+     * by construction, in-memory state is discarded).
+     */
+    void stop(bool drain = true);
+
+    /** Block until the event loop exits (daemon main). */
+    void wait();
+
+    /** Resolved TCP port (after start() with tcpPort >= 0). */
+    int tcpPort() const { return resolvedTcpPort_; }
+
+    /** Snapshot of the monotonic counters. */
+    ServerStats statsSnapshot() const;
+
+    /** Submissions whose sweeps have fully finished. */
+    std::uint64_t completedSubmissions() const;
+
+  private:
+    /** Lifecycle of one accepted grid. */
+    enum class SubState : std::uint8_t
+    {
+        Queued,
+        Running,
+        Done,
+    };
+
+    /**
+     * One accepted submission. Everything mutable after construction
+     * is guarded by m_: the scheduler marks cells ready, the event
+     * loop drains them into client buffers.
+     */
+    struct Submission
+    {
+        std::uint64_t id = 0;
+        /** Owning connection id; 0 after disconnect or recovery. */
+        std::uint64_t clientId = 0;
+        std::string gridText;
+        BatchGrid grid;
+        std::vector<SimJob> jobs;
+        std::vector<std::string> keys;
+        SubState state = SubState::Queued;
+        bool resume = false; ///< recovered: reuse the cell journal
+        std::vector<JobOutcome> outcomes;  ///< slots, filled as final
+        std::vector<std::uint8_t> ready;   ///< outcome i is final
+        bool interrupted = false; ///< last run was cut by drain
+        std::uint64_t ok = 0, failed = 0, timeout = 0, crashed = 0;
+    };
+
+    /** A client's view of one submission's result stream. */
+    struct Watch
+    {
+        std::uint64_t subId = 0;
+        std::uint64_t nextCell = 0; ///< delivery cursor (ascending)
+        bool doneSent = false;
+    };
+
+    /** One connected client. Owned by the event-loop thread. */
+    struct Session
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        bool isUnix = false;
+        std::string inBuf;  ///< bytes up to the next newline
+        std::string outBuf; ///< bytes owed to the client
+        std::vector<Watch> watches;
+        bool paused = false;         ///< backpressure engaged
+        bool dropAfterFlush = false; ///< fatal error already queued
+        std::chrono::steady_clock::time_point lastActivity;
+    };
+
+    // --- event-loop side ---
+    void eventLoop();
+    void handleAccept(int listenFd, bool isUnix);
+    void handleReadable(Session &s);
+    void handleWritable(Session &s);
+    void handleLine(Session &s, const std::string &line);
+    void handleSubmit(Session &s, const std::string &gridText);
+    void handleAttach(Session &s, std::uint64_t subId);
+    void sendRecord(Session &s, const json::Value &record);
+    void sendError(Session &s, DiagCode code, const std::string &param,
+                   const std::string &message, std::uint64_t sub = 0,
+                   bool fatal = false);
+    /** Move ready cells into session buffers (backpressure-aware). */
+    void pumpWatches(Session &s);
+    void closeSession(Session &s);
+    void beginDrain();
+    void finishDrain();
+
+    // --- scheduler side ---
+    void schedulerLoop();
+    /** Fair share: next queued submission, round-robin by client. */
+    Submission *pickNext();
+    void runSubmission(Submission &sub);
+
+    // --- shared helpers (m_ held by caller) ---
+    unsigned pendingSubsOf(std::uint64_t clientId) const;
+    std::uint64_t pendingCellsOf(const Session &s) const;
+    void journalRequest(const Submission &sub);
+    void recoverState();
+    Submission *findSub(std::uint64_t id);
+    void wakeLoop() noexcept;
+
+    ServerOptions opts_;
+    int resolvedTcpPort_ = -1;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int wakeR_ = -1;
+    int wakeW_ = -1;
+
+    std::thread loopThread_;
+    std::thread schedThread_;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> hardStop_{false};
+    std::atomic<bool> loopExited_{false};
+    std::atomic<bool> schedExited_{false};
+    bool draining_ = false; ///< event-loop thread only
+    std::chrono::steady_clock::time_point drainDeadline_;
+
+    /**
+     * Guards submissions (list + every mutable member), the scheduler
+     * queue/condvar and the stats counters. Sessions are event-loop-
+     * private and not guarded.
+     */
+    mutable std::mutex m_;
+    std::condition_variable cvSched_;
+    bool schedStop_ = false;
+    std::uint64_t nextSubId_ = 1;
+    std::uint64_t nextClientId_ = 1;
+    std::vector<std::unique_ptr<Submission>> subs_;
+    std::uint64_t lastScheduledClient_ = 0; ///< fair-share cursor
+    ServerStats stats_;
+
+    std::unique_ptr<JournalWriter> requestJournal_;
+    std::map<int, std::unique_ptr<Session>> sessions_; ///< by fd
+
+    std::mutex waitM_;
+    std::condition_variable cvWait_;
+};
+
+} // namespace lrs::service
+
+#endif // LRS_SERVICE_SERVER_HH

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Tests of the sweep service (src/service/): protocol parsing, in-
+ * order result delivery, admission control against hostile clients
+ * (malformed JSON, oversized lines/grids, quota exhaustion, slow
+ * readers, mid-stream disconnects) and the restart-recovery contract
+ * — a hard-stopped server restarted on the same state directory
+ * re-delivers a result stream byte-identical to an uninterrupted run.
+ *
+ * Suite naming is deliberate: every suite here is "ParallelService*"
+ * and fully fork-free, so the whole file runs under `ctest -R
+ * Parallel` in the TSan pass of tools/run_sanitized.sh (the event
+ * loop + scheduler + pool threads are exactly what TSan should see).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/io.hh"
+#include "core/runner.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+
+namespace lrs::service
+{
+namespace
+{
+
+/** Clear the process-wide interrupt flag however the test exits. */
+struct InterruptGuard
+{
+    InterruptGuard() { clearSweepInterrupt(); }
+    ~InterruptGuard() { clearSweepInterrupt(); }
+};
+
+/** Fresh per-test state directory + socket path (short: sun_path). */
+struct TestDirs
+{
+    std::string root;
+    std::string sock;
+    std::string state;
+
+    explicit TestDirs(const std::string &name)
+    {
+        root = testing::TempDir() + "lrs_svc_" + name;
+        std::filesystem::remove_all(root);
+        std::filesystem::create_directories(root);
+        sock = root + "/d.sock";
+        state = root + "/state";
+    }
+};
+
+ServerOptions
+baseOptions(const TestDirs &dirs)
+{
+    ServerOptions o;
+    o.socketPath = dirs.sock;
+    o.stateDir = dirs.state;
+    o.workers = 2;
+    return o;
+}
+
+constexpr const char *kSmallGrid =
+    "traces = wd\nschemes = traditional, perfect\nlen = 8000\n"
+    "jobs = 2\n";
+
+/** 10 cells, big enough to still be running when a follow-up request
+ *  lands a few microseconds after the ack. */
+constexpr const char *kSlowGrid =
+    "traces = wd gcc swim li pm\nschemes = traditional, perfect\n"
+    "len = 120000\njobs = 2\n";
+
+/** Minimal blocking JSONL client against the Unix socket. */
+class Client
+{
+  public:
+    ~Client() { close(); }
+
+    void
+    connect(const std::string &path)
+    {
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        ASSERT_LT(path.size(), sizeof(sa.sun_path));
+        std::strncpy(sa.sun_path, path.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd_, 0);
+        ASSERT_EQ(0, ::connect(fd_,
+                               reinterpret_cast<sockaddr *>(&sa),
+                               sizeof(sa)))
+            << std::strerror(errno);
+    }
+
+    void
+    send(const std::string &line)
+    {
+        ASSERT_TRUE(writeFully(fd_, line));
+    }
+
+    /**
+     * Next complete line (without the newline); "" on EOF. Fails the
+     * test after @p timeoutMs of silence so a protocol bug cannot
+     * hang the suite.
+     */
+    std::string
+    readLine(int timeoutMs = 30000)
+    {
+        while (true) {
+            const std::size_t pos = buf_.find('\n');
+            if (pos != std::string::npos) {
+                std::string line = buf_.substr(0, pos);
+                buf_.erase(0, pos + 1);
+                return line;
+            }
+            pollfd p{fd_, POLLIN, 0};
+            const int rc = ::poll(&p, 1, timeoutMs);
+            if (rc <= 0) {
+                ADD_FAILURE() << "timed out waiting for a line";
+                return "";
+            }
+            char tmp[16384];
+            const ssize_t n = ::read(fd_, tmp, sizeof(tmp));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return ""; // EOF
+            buf_.append(tmp, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** True if the server closed the connection (EOF on read). */
+    bool
+    atEof(int timeoutMs = 30000)
+    {
+        if (!buf_.empty())
+            return false;
+        pollfd p{fd_, POLLIN, 0};
+        if (::poll(&p, 1, timeoutMs) <= 0)
+            return false;
+        char tmp[256];
+        const ssize_t n = ::read(fd_, tmp, sizeof(tmp));
+        if (n > 0) {
+            buf_.append(tmp, static_cast<std::size_t>(n));
+            return false;
+        }
+        return n == 0;
+    }
+
+    void
+    close()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+json::Value
+parsed(const std::string &line)
+{
+    EXPECT_FALSE(line.empty()) << "connection closed unexpectedly";
+    return json::Value::parse(line.empty() ? "{}" : line);
+}
+
+/** Read ack + every cell + done; returns the raw concatenated
+ *  stream (the byte-identity currency). */
+std::string
+readStream(Client &c, std::uint64_t expectCells)
+{
+    std::string raw;
+    const std::string ackLine = c.readLine();
+    raw += ackLine + "\n";
+    const json::Value ack = parsed(ackLine);
+    EXPECT_EQ("ack", ack.at("type").asString());
+    EXPECT_EQ(expectCells, ack.at("cells").asU64());
+    for (std::uint64_t i = 0; i < expectCells; ++i) {
+        const std::string line = c.readLine();
+        raw += line + "\n";
+        const json::Value cell = parsed(line);
+        EXPECT_EQ("cell", cell.at("type").asString());
+        EXPECT_EQ(i, cell.at("cell").asU64()) << "out-of-order cell";
+    }
+    const std::string doneLine = c.readLine();
+    raw += doneLine + "\n";
+    const json::Value done = parsed(doneLine);
+    EXPECT_EQ("done", done.at("type").asString());
+    return raw;
+}
+
+TEST(ParallelService, PingStatsAndUnknownOp)
+{
+    InterruptGuard guard;
+    TestDirs dirs("ping");
+    Server server(baseOptions(dirs));
+    server.start();
+
+    Client c;
+    c.connect(dirs.sock);
+    c.send("{\"op\":\"ping\"}\n");
+    EXPECT_EQ("{\"type\":\"pong\"}", c.readLine());
+
+    c.send("{\"op\":\"stats\"}\n");
+    const json::Value stats = parsed(c.readLine());
+    EXPECT_EQ("stats", stats.at("type").asString());
+    EXPECT_EQ(1u, stats.at("accepted").asU64());
+    EXPECT_EQ(0u, stats.at("submissions").asU64());
+
+    c.send("{\"op\":\"warp\"}\n");
+    const json::Value err = parsed(c.readLine());
+    EXPECT_EQ("error", err.at("type").asString());
+    EXPECT_EQ("E_PROTOCOL", err.at("code").asString());
+
+    // The connection survives a non-fatal protocol error.
+    c.send("{\"op\":\"ping\"}\n");
+    EXPECT_EQ("{\"type\":\"pong\"}", c.readLine());
+
+    server.stop(true);
+}
+
+TEST(ParallelService, SubmitDeliversCellsInOrderThenDone)
+{
+    InterruptGuard guard;
+    TestDirs dirs("order");
+    Server server(baseOptions(dirs));
+    server.start();
+
+    Client c;
+    c.connect(dirs.sock);
+    c.send(submitLine(kSmallGrid));
+    const std::string raw = readStream(c, 2);
+
+    // The stream carries real results in grid order.
+    const json::Value first =
+        json::Value::parse(raw.substr(raw.find('\n') + 1,
+                                      raw.find('\n', raw.find('\n') +
+                                                         1) -
+                                          raw.find('\n') - 1));
+    EXPECT_EQ("wd/Traditional", first.at("key").asString());
+    EXPECT_EQ("OK", first.at("status").asString());
+    EXPECT_GT(first.at("result").at("cycles").asU64(), 0u);
+
+    server.stop(true);
+    EXPECT_EQ(1u, server.statsSnapshot().submissions);
+}
+
+TEST(ParallelService, MalformedJsonGetsErrorOthersUnaffected)
+{
+    InterruptGuard guard;
+    TestDirs dirs("malformed");
+    Server server(baseOptions(dirs));
+    server.start();
+
+    Client good;
+    good.connect(dirs.sock);
+    good.send(submitLine(kSmallGrid));
+
+    Client bad;
+    bad.connect(dirs.sock);
+    bad.send("this is not json{{{\n");
+    const json::Value err = parsed(bad.readLine());
+    EXPECT_EQ("error", err.at("type").asString());
+    EXPECT_EQ("E_PROTOCOL", err.at("code").asString());
+    // Not fatal: the same client can still speak.
+    bad.send("{\"op\":\"ping\"}\n");
+    EXPECT_EQ("{\"type\":\"pong\"}", bad.readLine());
+
+    // The sibling's sweep is untouched.
+    readStream(good, 2);
+    EXPECT_GE(server.statsSnapshot().protocolErrors, 1u);
+    server.stop(true);
+}
+
+TEST(ParallelService, OversizedLineIsFatalOversizedGridIsNot)
+{
+    InterruptGuard guard;
+    TestDirs dirs("oversize");
+    ServerOptions opts = baseOptions(dirs);
+    opts.maxLineBytes = 512;
+    opts.maxCellsPerSub = 4;
+    Server server(opts);
+    server.start();
+
+    // A grid over the cell cap: structured quota error, connection
+    // stays usable.
+    Client c;
+    c.connect(dirs.sock);
+    c.send(submitLine(kSlowGrid)); // 10 cells > cap of 4
+    const json::Value err = parsed(c.readLine());
+    EXPECT_EQ("error", err.at("type").asString());
+    EXPECT_EQ("E_QUOTA_EXCEEDED", err.at("code").asString());
+    c.send("{\"op\":\"ping\"}\n");
+    EXPECT_EQ("{\"type\":\"pong\"}", c.readLine());
+
+    // A line over the byte cap: one error record, then the server
+    // hangs up (it cannot resynchronise inside an unbounded line).
+    Client flood;
+    flood.connect(dirs.sock);
+    std::string big(2048, 'x');
+    big.push_back('\n');
+    flood.send(big);
+    const json::Value ferr = parsed(flood.readLine());
+    EXPECT_EQ("E_PROTOCOL", ferr.at("code").asString());
+    EXPECT_TRUE(flood.atEof());
+
+    server.stop(true);
+}
+
+TEST(ParallelService, SubmissionQuotaRejectsButFirstSweepFinishes)
+{
+    InterruptGuard guard;
+    TestDirs dirs("quota");
+    ServerOptions opts = baseOptions(dirs);
+    opts.maxPendingSubs = 1;
+    Server server(opts);
+    server.start();
+
+    Client c;
+    c.connect(dirs.sock);
+    c.send(submitLine(kSlowGrid));
+    const json::Value ack = parsed(c.readLine());
+    ASSERT_EQ("ack", ack.at("type").asString());
+
+    // Second submission while the first is still pending: rejected.
+    c.send(submitLine(kSmallGrid));
+    const std::string next = c.readLine();
+    const json::Value rec = parsed(next);
+    ASSERT_EQ("error", rec.at("type").asString());
+    EXPECT_EQ("E_QUOTA_EXCEEDED", rec.at("code").asString());
+
+    // The first submission still runs to a complete, ordered stream.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const json::Value cell = parsed(c.readLine());
+        ASSERT_EQ("cell", cell.at("type").asString());
+        EXPECT_EQ(i, cell.at("cell").asU64());
+    }
+    const json::Value done = parsed(c.readLine());
+    EXPECT_EQ("done", done.at("type").asString());
+    EXPECT_EQ(10u, done.at("ok").asU64());
+
+    EXPECT_EQ(1u, server.statsSnapshot().quotaRejects);
+    server.stop(true);
+}
+
+TEST(ParallelService, DisconnectMidStreamLeaksNothingAndStaysAttachable)
+{
+    InterruptGuard guard;
+    TestDirs dirs("disconnect");
+    Server server(baseOptions(dirs));
+    server.start();
+
+    {
+        Client c;
+        c.connect(dirs.sock);
+        c.send(submitLine(kSlowGrid));
+        const json::Value ack = parsed(c.readLine());
+        ASSERT_EQ("ack", ack.at("type").asString());
+        c.close(); // walk away mid-sweep
+    }
+
+    // The journaled submission keeps running to completion.
+    for (int i = 0; i < 600; ++i) {
+        if (server.completedSubmissions() == 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_EQ(1u, server.completedSubmissions());
+
+    // A fresh client replays the whole stream.
+    Client again;
+    again.connect(dirs.sock);
+    again.send(attachLine(1));
+    readStream(again, 10);
+    server.stop(true);
+}
+
+TEST(ParallelService, SlowReaderIsPausedNotBufferedUnbounded)
+{
+    InterruptGuard guard;
+    TestDirs dirs("slow");
+    ServerOptions opts = baseOptions(dirs);
+    opts.maxOutBufBytes = 1024; // a couple of cell records at most
+    opts.sndBufBytes = 1;       // clamped up to the kernel minimum
+    Server server(opts);
+    server.start();
+
+    Client c;
+    c.connect(dirs.sock);
+    c.send(submitLine(kSlowGrid));
+    // Don't read yet: let the sweep finish against a full buffer.
+    for (int i = 0; i < 600; ++i) {
+        if (server.completedSubmissions() == 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_EQ(1u, server.completedSubmissions());
+    EXPECT_GE(server.statsSnapshot().deliveryPauses, 1u);
+
+    // Now drain: the stream must still be complete and in order.
+    readStream(c, 10);
+    server.stop(true);
+}
+
+TEST(ParallelService, TwoClientsWithQuotasBothComplete)
+{
+    InterruptGuard guard;
+    TestDirs dirs("pair");
+    ServerOptions opts = baseOptions(dirs);
+    opts.maxPendingSubs = 1;
+    Server server(opts);
+    server.start();
+
+    Client a, b;
+    a.connect(dirs.sock);
+    b.connect(dirs.sock);
+    a.send(submitLine(kSmallGrid));
+    b.send(submitLine(kSmallGrid));
+    const std::string rawA = readStream(a, 2);
+    const std::string rawB = readStream(b, 2);
+
+    // Same grid, distinct submission ids, identical cell payloads
+    // (determinism is per-cell, not per-submission).
+    EXPECT_NE(rawA, rawB);
+    std::string normA = rawA, normB = rawB;
+    const auto scrub = [](std::string &s, const std::string &sub) {
+        std::size_t p;
+        while ((p = s.find(sub)) != std::string::npos)
+            s.replace(p, sub.size(), "\"sub\":N");
+    };
+    scrub(normA, "\"sub\":1");
+    scrub(normA, "\"sub\":2");
+    scrub(normB, "\"sub\":1");
+    scrub(normB, "\"sub\":2");
+    EXPECT_EQ(normA, normB);
+    server.stop(true);
+}
+
+TEST(ParallelService, AttachUnknownSubmissionIsNotFound)
+{
+    InterruptGuard guard;
+    TestDirs dirs("notfound");
+    Server server(baseOptions(dirs));
+    server.start();
+
+    Client c;
+    c.connect(dirs.sock);
+    c.send(attachLine(42));
+    const json::Value err = parsed(c.readLine());
+    EXPECT_EQ("error", err.at("type").asString());
+    EXPECT_EQ("E_NOT_FOUND", err.at("code").asString());
+    server.stop(true);
+}
+
+TEST(ParallelService, RestartRecoveryReplaysByteIdenticalStream)
+{
+    InterruptGuard guard;
+
+    // Reference: an uninterrupted daemon's stream for this grid.
+    TestDirs ref("restart_ref");
+    std::string reference;
+    {
+        Server server(baseOptions(ref));
+        server.start();
+        Client c;
+        c.connect(ref.sock);
+        c.send(submitLine(kSlowGrid));
+        reference = readStream(c, 10);
+        server.stop(true);
+    }
+
+    // Chaos: hard-stop the server mid-sweep (in-memory state is
+    // discarded, exactly like a SIGKILL; journaled state survives).
+    TestDirs dirs("restart");
+    {
+        Server server(baseOptions(dirs));
+        server.start();
+        Client c;
+        c.connect(dirs.sock);
+        c.send(submitLine(kSlowGrid));
+        const json::Value ack = parsed(c.readLine());
+        ASSERT_EQ("ack", ack.at("type").asString());
+        // Let at least one cell land in the cell journal so the
+        // restart genuinely resumes rather than restarts.
+        (void)c.readLine();
+        server.stop(false);
+    }
+
+    // Restart on the same state directory: the request journal
+    // recovers the submission, the cell journal resumes it, and the
+    // replayed stream is byte-identical to the uninterrupted run.
+    {
+        Server server(baseOptions(dirs));
+        server.start();
+        EXPECT_EQ(1u, server.statsSnapshot().recovered);
+        Client c;
+        c.connect(dirs.sock);
+        c.send(attachLine(1));
+        const std::string replay = readStream(c, 10);
+        EXPECT_EQ(reference, replay);
+        server.stop(true);
+    }
+}
+
+TEST(ParallelService, DrainRefusesNewSubmissions)
+{
+    InterruptGuard guard;
+    TestDirs dirs("drain");
+    Server server(baseOptions(dirs));
+    server.start();
+
+    Client c;
+    c.connect(dirs.sock);
+    c.send(submitLine(kSmallGrid));
+    readStream(c, 2); // sweep done; connection still open
+
+    server.requestStop();
+    // The drain closes every connection once owed bytes are flushed;
+    // nothing further is accepted on it.
+    EXPECT_TRUE(c.atEof());
+    server.stop(true);
+}
+
+} // namespace
+} // namespace lrs::service

@@ -27,7 +27,13 @@
 #include <stdexcept>
 #include <string>
 
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "common/buildinfo.hh"
+#include "common/io.hh"
 #include "common/diag.hh"
 #include "common/fault_injector.hh"
 #include "common/histogram.hh"
@@ -36,10 +42,12 @@
 #include "common/stats.hh"
 #include "core/config_io.hh"
 #include "core/flight_recorder.hh"
+#include "core/grid.hh"
 #include "core/parallel.hh"
 #include "core/runner.hh"
 #include "core/supervisor.hh"
 #include "core/tracer.hh"
+#include "service/protocol.hh"
 #include "trace/serialize.hh"
 
 using namespace lrs;
@@ -186,6 +194,17 @@ usage(FILE *out, int code, const char *argv0)
         "  --max-cycles N        deterministic per-run cycle budget; "
         "exceeding it is a\n"
         "                        TIMEOUT outcome (0 disables)\n"
+        "sweep service client (docs/SERVICE.md):\n"
+        "  --submit ADDR         send the --batch grid to a running "
+        "lrs_simd service\n"
+        "                        (ADDR with a '/' is a Unix socket "
+        "path, else\n"
+        "                        host:port) and stream its raw JSONL "
+        "result records\n"
+        "                        (ack/cell/done) to stdout\n"
+        "  --attach N            with --submit: replay submission N's "
+        "result stream\n"
+        "                        instead of submitting a new grid\n"
         "exit codes: 0 ok, 1 runtime/audit failure, 2 usage, "
         "3 bad config, 4 I/O,\n"
         "            5 interrupted (SIGINT/SIGTERM; resume with "
@@ -304,103 +323,6 @@ emitJson(const std::string &path, const json::Value &doc)
 }
 
 /**
- * A --batch grid file: the cross product of `traces` and `schemes`,
- * every cell simulated under one shared machine configuration.
- *
- *   traces  = wd gcc swim
- *   schemes = traditional, exclusive, perfect
- *   len     = 200000
- *   jobs    = 4               # optional; --jobs wins over this
- *   sched_window = 64         # any machineConfigFromIni() key
- */
-struct BatchGrid
-{
-    std::vector<std::string> traces;
-    std::vector<OrderingScheme> schemes;
-    std::uint64_t len = 200000;
-    unsigned jobs = 0;
-    MachineConfig base;
-};
-
-/** Split a grid-file list value on commas and whitespace. */
-std::vector<std::string>
-splitList(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::string cur;
-    for (const char c : s) {
-        if (c == ',' || c == ' ' || c == '\t') {
-            if (!cur.empty())
-                out.push_back(std::move(cur));
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        out.push_back(std::move(cur));
-    return out;
-}
-
-BatchGrid
-parseBatchGrid(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
-                               "batch", "cannot open " + path));
-    }
-    BatchGrid grid;
-    std::ostringstream cfg_lines;
-    std::string line;
-    while (std::getline(is, line)) {
-        std::string text = line;
-        if (const auto hash = text.find_first_of("#;");
-            hash != std::string::npos)
-            text.erase(hash);
-        const auto eq = text.find('=');
-        if (eq == std::string::npos) {
-            if (text.find_first_not_of(" \t\r") != std::string::npos)
-                cfg_lines << line << '\n'; // let the config parser
-                                           // report the syntax error
-            continue;
-        }
-        auto trim = [](std::string s) {
-            const auto b = s.find_first_not_of(" \t\r");
-            if (b == std::string::npos)
-                return std::string();
-            const auto e = s.find_last_not_of(" \t\r");
-            return s.substr(b, e - b + 1);
-        };
-        const std::string key = trim(text.substr(0, eq));
-        const std::string value = trim(text.substr(eq + 1));
-        if (key == "traces") {
-            grid.traces = splitList(value);
-        } else if (key == "schemes") {
-            for (const auto &name : splitList(value))
-                grid.schemes.push_back(parseOrderingScheme(name));
-        } else if (key == "len") {
-            grid.len = std::stoull(value);
-        } else if (key == "jobs") {
-            grid.jobs = static_cast<unsigned>(std::stoul(value));
-        } else {
-            cfg_lines << line << '\n';
-        }
-    }
-    std::istringstream cfg_is(cfg_lines.str());
-    grid.base = machineConfigFromIni(cfg_is, grid.base);
-    if (grid.traces.empty()) {
-        throw ConfigError(makeDiag(DiagCode::ConfigInvalid, "lrs_sim",
-                                   "batch",
-                                   "grid file names no traces: " +
-                                       path));
-    }
-    if (grid.schemes.empty())
-        grid.schemes = allSchemes();
-    return grid;
-}
-
-/**
  * Run a batch grid under the sweep supervisor and print one table row
  * per (trace, scheme) cell, in grid order regardless of worker count.
  *
@@ -419,7 +341,7 @@ runBatch(const std::string &path, unsigned jobs_flag,
          std::uint64_t max_cycles, bool histograms, bool profile,
          const std::string &flight_dir)
 {
-    BatchGrid grid = parseBatchGrid(path);
+    BatchGrid grid = parseBatchGridFile(path);
     if (max_cycles)
         grid.base.maxCycles = max_cycles;
     if (histograms)
@@ -428,25 +350,7 @@ runBatch(const std::string &path, unsigned jobs_flag,
 
     std::vector<SimJob> jobs;
     std::vector<std::string> keys;
-    jobs.reserve(grid.traces.size() * grid.schemes.size());
-    keys.reserve(jobs.capacity());
-    for (const auto &name : grid.traces) {
-        TraceParams tp;
-        try {
-            tp = TraceLibrary::byName(name, grid.len);
-        } catch (const std::invalid_argument &e) {
-            throw ConfigError(makeDiag(DiagCode::ConfigInvalid,
-                                       "lrs_sim", "batch", e.what()));
-        }
-        for (const auto scheme : grid.schemes) {
-            SimJob job;
-            job.trace = tp;
-            job.cfg = grid.base;
-            job.cfg.scheme = scheme;
-            jobs.push_back(std::move(job));
-            keys.push_back(name + "/" + orderingSchemeName(scheme));
-        }
-    }
+    buildGridJobs(grid, jobs, keys);
 
     sopts.workers = jobs_flag ? jobs_flag : grid.jobs;
 
@@ -652,6 +556,162 @@ runBatch(const std::string &path, unsigned jobs_flag,
     return any_gave_up ? kExitRuntime : kExitOk;
 }
 
+/** Connect to an lrs_simd service: a '/' marks a Unix socket path,
+ *  anything else is host:port. Throws IoError (exit code 4). */
+int
+connectToService(const std::string &addr)
+{
+    if (addr.find('/') != std::string::npos) {
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        if (addr.size() >= sizeof(sa.sun_path)) {
+            throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                                   "submit",
+                                   "socket path too long: " + addr));
+        }
+        std::strncpy(sa.sun_path, addr.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) != 0) {
+            if (fd >= 0)
+                ::close(fd);
+            throw IoError(makeDiag(
+                DiagCode::IoOpenFailed, "lrs_sim", "submit",
+                "cannot connect to " + addr + " (" +
+                    std::strerror(errno) + ")"));
+        }
+        return fd;
+    }
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon + 1 == addr.size())
+        throwConfig("lrs_sim", "submit",
+                    "ADDR must be a socket path (contains '/') or "
+                    "host:port, got " +
+                        addr);
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int gai =
+        ::getaddrinfo(addr.substr(0, colon).c_str(),
+                      addr.substr(colon + 1).c_str(), &hints, &res);
+    if (gai != 0) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                               "submit",
+                               "cannot resolve " + addr + " (" +
+                                   ::gai_strerror(gai) + ")"));
+    }
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                               "submit",
+                               "cannot connect to " + addr + " (" +
+                                   std::strerror(errno) + ")"));
+    }
+    return fd;
+}
+
+/**
+ * Client mode: submit a grid to (or attach to a submission of) an
+ * lrs_simd service and relay its result stream. Received ack/cell/
+ * done lines are echoed to stdout **verbatim** — the byte-identity
+ * contract (docs/SERVICE.md) is about these raw bytes, so the client
+ * must not re-serialize them.
+ */
+int
+runClient(const std::string &addr, const std::string &batch_path,
+          bool attach_set, std::uint64_t attach_id)
+{
+    std::string request;
+    if (attach_set) {
+        request = service::attachLine(attach_id);
+    } else {
+        std::ifstream is(batch_path, std::ios::binary);
+        if (!is) {
+            throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                                   "batch",
+                                   "cannot open " + batch_path));
+        }
+        std::ostringstream text;
+        text << is.rdbuf();
+        request = service::submitLine(text.str());
+    }
+
+    const int fd = connectToService(addr);
+    if (!writeFully(fd, request)) {
+        const int err = errno;
+        ::close(fd);
+        throw IoError(makeDiag(DiagCode::IoWriteFailed, "lrs_sim",
+                               "submit",
+                               std::string("send failed (") +
+                                   std::strerror(err) + ")"));
+    }
+
+    std::string buf;
+    char tmp[65536];
+    while (true) {
+        const std::size_t pos = buf.find('\n');
+        if (pos == std::string::npos) {
+            const ssize_t n = ::read(fd, tmp, sizeof(tmp));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                ::close(fd);
+                throw IoError(makeDiag(
+                    DiagCode::IoWriteFailed, "lrs_sim", "submit",
+                    "connection closed before the \"done\" record "
+                    "(is the service draining?)"));
+            }
+            buf.append(tmp, static_cast<std::size_t>(n));
+            continue;
+        }
+        const std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        json::Value rec;
+        try {
+            rec = json::Value::parse(line);
+        } catch (const json::ParseError &) {
+            ::close(fd);
+            throw IoError(makeDiag(DiagCode::IoWriteFailed, "lrs_sim",
+                                   "submit",
+                                   "service sent an unparsable "
+                                   "line: " +
+                                       line));
+        }
+        const std::string type =
+            rec.isObject() && rec.find("type")
+                ? rec.at("type").asString()
+                : "";
+        if (type == "error") {
+            std::fprintf(stderr, "service error: %s\n", line.c_str());
+            ::close(fd);
+            return kExitRuntime;
+        }
+        std::fputs(line.c_str(), stdout);
+        std::fputc('\n', stdout);
+        if (type == "done") {
+            ::close(fd);
+            const std::uint64_t bad = rec.at("failed").asU64() +
+                                      rec.at("timeout").asU64() +
+                                      rec.at("crashed").asU64();
+            return bad ? kExitRuntime : kExitOk;
+        }
+    }
+}
+
 /**
  * Push the trace through the fault injector at the serialized-bytes
  * level (header protected) and read it back in recovery mode — the
@@ -688,6 +748,9 @@ main(int argc, char **argv)
     std::uint64_t len = 200000;
     unsigned jobs_flag = 0;
     std::string batch_path;
+    std::string submit_addr;
+    bool attach_set = false;
+    std::uint64_t attach_id = 0;
     SweepOptions sweep_opts;
     bool compare = false;
     bool profile = false;
@@ -751,6 +814,11 @@ main(int argc, char **argv)
             }
             else if (a == "--compare-schemes") compare = true;
             else if (a == "--batch") batch_path = next();
+            else if (a == "--submit") submit_addr = next();
+            else if (a == "--attach") {
+                attach_set = true;
+                attach_id = std::stoull(next());
+            }
             else if (a == "--jobs")
                 jobs_flag = static_cast<unsigned>(std::stoul(next()));
             else if (a == "--journal")
@@ -830,6 +898,20 @@ main(int argc, char **argv)
                 return kExitRuntime;
             }
             return kExitOk;
+        }
+        if (!submit_addr.empty()) {
+            if (batch_path.empty() && !attach_set) {
+                std::fprintf(stderr,
+                             "--submit needs --batch GRID or "
+                             "--attach N\n");
+                usage(stderr, kExitUsage, argv[0]);
+            }
+            return runClient(submit_addr, batch_path, attach_set,
+                             attach_id);
+        }
+        if (attach_set) {
+            std::fprintf(stderr, "--attach needs --submit ADDR\n");
+            usage(stderr, kExitUsage, argv[0]);
         }
         if (profile)
             prof::setEnabled(true);

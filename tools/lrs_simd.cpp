@@ -1,0 +1,188 @@
+/**
+ * @file
+ * lrs_simd — the sweep service daemon (docs/SERVICE.md).
+ *
+ * Thin shell around service::Server: parse flags, install the
+ * drain-on-SIGTERM handler, start, wait. All protocol, scheduling and
+ * recovery behaviour lives in src/service/ where the tests exercise
+ * it in-process.
+ *
+ * Exit codes follow the lrs_sim contract: 0 clean drain, 2 usage,
+ * 3 invalid configuration, 4 I/O (bind/state-dir) failure.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/diag.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+lrs::service::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop(); // async-signal-safe
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to, R"(usage: lrs_simd --state DIR [options]
+
+Crash-tolerant sweep service: accepts newline-delimited JSON sweep
+submissions over a socket, journals them durably before acknowledging,
+runs them through the checkpointing sweep supervisor and streams
+per-cell results back. SIGTERM drains; a SIGKILLed daemon restarted
+on the same --state directory resumes every accepted submission and
+re-delivers results byte-identical to an uninterrupted run.
+
+listeners (at least one required):
+  --socket PATH        Unix-domain listening socket
+  --tcp PORT           loopback TCP listener (0 = ephemeral port,
+                       printed on startup)
+
+state and execution:
+  --state DIR          state directory: request + cell journals
+  --jobs N             sweep pool width (default: grid "jobs" key,
+                       else LRS_JOBS, else hardware concurrency)
+  --retries N          per-cell retry budget (default 0)
+  --isolate            fork each cell into a subprocess
+  --cell-timeout MS    wall-clock watchdog per isolated cell
+
+admission control:
+  --max-clients N      concurrent connections (default 64)
+  --max-line-bytes N   request line cap (default 1048576)
+  --max-outbuf N       per-client send-buffer cap before the result
+                       stream pauses (default 4194304)
+  --quota-subs N       unfinished submissions per client (default 4)
+  --quota-cells N      undelivered cells per client (default 8192)
+  --max-cells N        cells per submitted grid (default 4096)
+  --idle-timeout MS    close idle connections (default 0 = never)
+  --drain-timeout MS   flush budget on SIGTERM drain (default 3000)
+
+  -h, --help           this text
+)");
+}
+
+std::uint64_t
+parseCount(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+        std::fprintf(stderr, "lrs_simd: %s expects a number, got %s\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    lrs::service::ServerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "lrs_simd: %s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            opts.socketPath = next("--socket");
+        } else if (arg == "--tcp") {
+            opts.tcpPort =
+                static_cast<int>(parseCount("--tcp", next("--tcp")));
+        } else if (arg == "--state") {
+            opts.stateDir = next("--state");
+        } else if (arg == "--jobs") {
+            opts.workers = static_cast<unsigned>(
+                parseCount("--jobs", next("--jobs")));
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(
+                parseCount("--retries", next("--retries")));
+        } else if (arg == "--isolate") {
+            opts.isolate = true;
+        } else if (arg == "--cell-timeout") {
+            opts.cellTimeoutMs =
+                parseCount("--cell-timeout", next("--cell-timeout"));
+        } else if (arg == "--max-clients") {
+            opts.maxClients = static_cast<unsigned>(
+                parseCount("--max-clients", next("--max-clients")));
+        } else if (arg == "--max-line-bytes") {
+            opts.maxLineBytes = static_cast<std::size_t>(parseCount(
+                "--max-line-bytes", next("--max-line-bytes")));
+        } else if (arg == "--max-outbuf") {
+            opts.maxOutBufBytes = static_cast<std::size_t>(
+                parseCount("--max-outbuf", next("--max-outbuf")));
+        } else if (arg == "--quota-subs") {
+            opts.maxPendingSubs = static_cast<unsigned>(
+                parseCount("--quota-subs", next("--quota-subs")));
+        } else if (arg == "--quota-cells") {
+            opts.maxPendingCells =
+                parseCount("--quota-cells", next("--quota-cells"));
+        } else if (arg == "--max-cells") {
+            opts.maxCellsPerSub =
+                parseCount("--max-cells", next("--max-cells"));
+        } else if (arg == "--idle-timeout") {
+            opts.idleTimeoutMs =
+                parseCount("--idle-timeout", next("--idle-timeout"));
+        } else if (arg == "--drain-timeout") {
+            opts.drainTimeoutMs =
+                parseCount("--drain-timeout", next("--drain-timeout"));
+        } else {
+            std::fprintf(stderr, "lrs_simd: unknown flag %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    lrs::service::Server server(std::move(opts));
+    try {
+        server.start();
+    } catch (const lrs::ConfigError &e) {
+        std::fprintf(stderr, "lrs_simd: %s\n", e.what());
+        return 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lrs_simd: %s\n", e.what());
+        return 4;
+    }
+
+    g_server = &server;
+    std::signal(SIGPIPE, SIG_IGN);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    if (server.tcpPort() >= 0)
+        std::fprintf(stderr, "lrs_simd: listening on 127.0.0.1:%d\n",
+                     server.tcpPort());
+    std::fprintf(stderr, "lrs_simd: ready\n");
+
+    server.wait();       // until a drain completes
+    server.stop(true);   // join threads (drain already ran)
+    g_server = nullptr;
+    std::fprintf(stderr, "lrs_simd: drained\n");
+    return 0;
+}

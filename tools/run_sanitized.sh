@@ -46,15 +46,19 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 if [ "$mode" = "tsan" ]; then
     ctest --test-dir "$build_dir" --output-on-failure -j \
         "$(nproc 2>/dev/null || echo 4)" -R Parallel "$@"
-    # Sweep-supervisor chaos drill, kill/resume legs only: fork() in
-    # an instrumented multithreaded process is outside TSan's model.
+    # Sweep-supervisor chaos drill without the --isolate leg: fork()
+    # in an instrumented multithreaded process is outside TSan's
+    # model. The fork-free daemon legs (lrs_simd SIGKILL/restart
+    # byte-identity, docs/SERVICE.md) still run and race the event
+    # loop + scheduler threads under TSan.
     "$repo_root/tools/chaos_sweep.sh" --no-isolate "$build_dir"
 else
     ctest --test-dir "$build_dir" --output-on-failure -j \
         "$(nproc 2>/dev/null || echo 4)" "$@"
-    # Full chaos drill. The sacrificial cell raises SIGKILL instead of
-    # SIGSEGV: ASan intercepts segfaults into its own report, while
-    # SIGKILL drives the identical CRASHED bookkeeping uninstrumented.
+    # Full chaos drill, daemon legs included. The sacrificial cell
+    # raises SIGKILL instead of SIGSEGV: ASan intercepts segfaults
+    # into its own report, while SIGKILL drives the identical CRASHED
+    # bookkeeping uninstrumented.
     LRS_CHAOS_CRASH_SIG=9 "$repo_root/tools/chaos_sweep.sh" "$build_dir"
 fi
 # Telemetry-off byte-identity gate under the sanitized binary (the
