@@ -43,7 +43,7 @@ main()
         first.push_back(jobs.size());
         group_traces.push_back(groupTraces(g, 4));
         for (const auto &tp : group_traces.back())
-            jobs.push_back({tp, cfg});
+            jobs.push_back({tp, cfg, {}});
     }
     const auto outcomes = SimJobPool::shared().runJobs(jobs);
 

@@ -34,7 +34,7 @@ main()
         cfg.scheme = OrderingScheme::Traditional;
         cfg.schedWindow = w;
         for (const auto &tp : traces)
-            jobs.push_back({tp, cfg});
+            jobs.push_back({tp, cfg, {}});
     }
     const auto outcomes = SimJobPool::shared().runJobs(jobs);
 

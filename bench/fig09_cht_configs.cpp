@@ -90,7 +90,7 @@ main()
         cfg.chtShadow = true;
         cfg.cht = spec.params;
         for (const auto &tp : traces)
-            jobs.push_back({tp, cfg});
+            jobs.push_back({tp, cfg, {}});
     }
     const auto outcomes = SimJobPool::shared().runJobs(jobs);
 

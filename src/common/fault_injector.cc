@@ -1,7 +1,10 @@
 #include "common/fault_injector.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "common/parse.hh"
 
 namespace lrs
 {
@@ -28,10 +31,20 @@ envU64(const char *name, std::uint64_t fallback)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return fallback;
-    char *end = nullptr;
-    const std::uint64_t n = std::strtoull(v, &end, 0);
-    if (end == v || *end != '\0')
+    // Strict base-10 only: the old strtoull(.., 0) path accepted
+    // "-1" (wrapping to 2^64-1) and clamped out-of-range input to
+    // ULLONG_MAX without any errno check. Bad overrides now warn and
+    // keep the fallback instead of silently injecting with a
+    // nonsense seed or latency bound.
+    std::uint64_t n = 0;
+    if (!tryParseU64(v, n)) {
+        std::fprintf(stderr,
+                     "lrs: ignoring %s='%s' (want a base-10 unsigned "
+                     "64-bit integer); using %llu\n",
+                     name, v,
+                     static_cast<unsigned long long>(fallback));
         return fallback;
+    }
     return n;
 }
 

@@ -423,6 +423,13 @@ class Parser
         // count/sum fields above 2^53 survive a round-trip; anything
         // with a fraction or exponent (and out-of-range integers)
         // takes the double path as before.
+        //
+        // Unlike the config parsers (common/parse.hh), the raw
+        // strtoull here cannot signed-wrap: a token starting with '-'
+        // takes the strtoll branch, so strtoull only ever sees
+        // non-negative digits, and ERANGE clamping is caught by the
+        // errno check, demoting the token to the strtod double path
+        // instead of returning a clamped integer.
         const bool integral =
             tok.find_first_of(".eE") == std::string::npos;
         if (integral) {

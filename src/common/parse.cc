@@ -1,0 +1,24 @@
+#include "common/parse.hh"
+
+namespace lrs
+{
+
+bool
+tryParseU64(std::string_view s, std::uint64_t &out) noexcept
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false; // would overflow 2^64-1: reject, not clamp
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace lrs

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict unsigned-integer parsing shared by every config surface.
+ *
+ * The standard library conversions are booby-trapped for config use:
+ * std::stoull("-1") does not throw — it wraps to 2^64−1 (the C
+ * heritage of strtoull, which negates the magnitude), so an ini line
+ * like `max_cycles = -1` silently became "effectively unbounded".
+ * strtoull also accepts leading whitespace and a '+' sign, and with
+ * errno unchecked it clamps out-of-range input to ULLONG_MAX instead
+ * of failing. Three near-copies of that mistake grew in grid.cc,
+ * config_io.cc and fault_injector.cc; this header is the one shared
+ * discipline that replaces them (and backs envU64 in runner.cc).
+ *
+ * tryParseU64() accepts exactly the canonical base-10 spelling of an
+ * unsigned 64-bit integer: one or more ASCII digits, nothing else.
+ * No sign, no whitespace, no hex/octal prefix, no partial consumption,
+ * and overflow past 2^64−1 is rejected rather than clamped.
+ */
+
+#ifndef LRS_COMMON_PARSE_HH
+#define LRS_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace lrs
+{
+
+/**
+ * Parse @p s as a strict base-10 unsigned 64-bit integer into
+ * @p out. Returns false — leaving @p out untouched — unless @p s is
+ * entirely ASCII digits and the value fits in 64 bits. Rejects the
+ * empty string, leading '-'/'+', whitespace anywhere, and overflow.
+ */
+bool tryParseU64(std::string_view s, std::uint64_t &out) noexcept;
+
+} // namespace lrs
+
+#endif // LRS_COMMON_PARSE_HH

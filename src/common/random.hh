@@ -50,6 +50,25 @@ class Rng
             s1_ = 0x1234567890abcdefULL;
     }
 
+    /**
+     * Raw 128-bit generator state, for machine snapshots
+     * (core/snapshot.hh): restoring via setState() makes the
+     * subsequent next() sequence bit-identical to the saved
+     * generator's.
+     */
+    std::uint64_t state0() const { return s0_; }
+    std::uint64_t state1() const { return s1_; }
+
+    /** Restore a state captured by state0()/state1(). */
+    void
+    setState(std::uint64_t s0, std::uint64_t s1)
+    {
+        s0_ = s0;
+        s1_ = s1;
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 0x1234567890abcdefULL; // never all-zero
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Helpers for the machine-snapshot layer (core/snapshot.hh): exact
+ * JSON encoding of the integer vectors, counter tables and doubles
+ * that make up simulator component state.
+ *
+ * The snapshot determinism contract (docs/ROBUSTNESS.md, "Snapshots")
+ * is *bit* identity, so nothing here may round: integers ride on
+ * json::Value's exact u64/i64 representation, and doubles are encoded
+ * as their IEEE-754 bit pattern in a u64 — "0.1" never takes a trip
+ * through decimal text.
+ *
+ * Loaders throw ConfigError(E_JOURNAL_INVALID) on any malformed or
+ * size-mismatched section: a snapshot that cannot be restored exactly
+ * must fail loudly, never produce a subtly different machine.
+ */
+
+#ifndef LRS_COMMON_STATE_IO_HH
+#define LRS_COMMON_STATE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/diag.hh"
+#include "common/json.hh"
+#include "common/sat_counter.hh"
+
+namespace lrs::stateio
+{
+
+/** Reject a malformed snapshot section, naming the field. */
+[[noreturn]] inline void
+fail(const std::string &field, const std::string &message)
+{
+    throw ConfigError(makeDiag(DiagCode::JournalInvalid,
+                               "core.snapshot", field, message));
+}
+
+/** Fetch a required object member or fail(). */
+inline const json::Value &
+need(const json::Value &obj, const std::string &key)
+{
+    if (!obj.isObject())
+        fail(key, "expected an object carrying '" + key + "'");
+    const json::Value *v = obj.find(key);
+    if (!v)
+        fail(key, "missing snapshot field '" + key + "'");
+    return *v;
+}
+
+inline std::uint64_t
+needU64(const json::Value &obj, const std::string &key)
+{
+    const json::Value &v = need(obj, key);
+    if (!v.isNumber())
+        fail(key, "snapshot field '" + key + "' is not a number");
+    return v.asU64();
+}
+
+inline bool
+needBool(const json::Value &obj, const std::string &key)
+{
+    const json::Value &v = need(obj, key);
+    if (!v.isBool())
+        fail(key, "snapshot field '" + key + "' is not a boolean");
+    return v.asBool();
+}
+
+inline const std::string &
+needString(const json::Value &obj, const std::string &key)
+{
+    const json::Value &v = need(obj, key);
+    if (!v.isString())
+        fail(key, "snapshot field '" + key + "' is not a string");
+    return v.asString();
+}
+
+/** Encode a double as its exact IEEE-754 bit pattern. */
+inline json::Value
+packDouble(double d)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return json::Value(bits);
+}
+
+inline double
+unpackDouble(const json::Value &obj, const std::string &key)
+{
+    const std::uint64_t bits = needU64(obj, key);
+    double d = 0.0;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+/** Encode any integer vector as an exact JSON array. */
+template <typename T>
+json::Value
+packInts(const std::vector<T> &v)
+{
+    json::Value arr = json::Value::array();
+    for (const T x : v)
+        arr.push(json::Value(static_cast<std::uint64_t>(x)));
+    return arr;
+}
+
+/**
+ * Restore an integer vector saved by packInts(). The destination size
+ * is structural (fixed by the machine config), so a length mismatch
+ * means the snapshot belongs to a different geometry: fail loudly.
+ */
+template <typename T>
+void
+unpackInts(const json::Value &obj, const std::string &key,
+           std::vector<T> &out)
+{
+    const json::Value &arr = need(obj, key);
+    if (!arr.isArray() || arr.size() != out.size()) {
+        fail(key, "snapshot array '" + key + "' has " +
+                      (arr.isArray() ? std::to_string(arr.size())
+                                     : std::string("no")) +
+                      " elements; the machine needs " +
+                      std::to_string(out.size()));
+    }
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<T>(arr.at(i).asU64());
+}
+
+/** Saturating-counter tables: the value array (widths are config). */
+inline json::Value
+packCounters(const std::vector<SatCounter> &table)
+{
+    json::Value arr = json::Value::array();
+    for (const SatCounter &c : table)
+        arr.push(json::Value(static_cast<std::uint64_t>(c.value())));
+    return arr;
+}
+
+inline void
+unpackCounters(const json::Value &obj, const std::string &key,
+               std::vector<SatCounter> &table)
+{
+    const json::Value &arr = need(obj, key);
+    if (!arr.isArray() || arr.size() != table.size()) {
+        fail(key, "counter table '" + key +
+                      "' does not match the configured geometry");
+    }
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const std::uint64_t v = arr.at(i).asU64();
+        if (v > table[i].maxVal()) {
+            fail(key, "counter value " + std::to_string(v) +
+                          " exceeds the configured width");
+        }
+        table[i].set(static_cast<std::uint8_t>(v));
+    }
+}
+
+} // namespace lrs::stateio
+
+#endif // LRS_COMMON_STATE_IO_HH

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/diag.hh"
+#include "common/parse.hh"
 #include "common/stats.hh"
 
 namespace lrs
@@ -39,10 +40,11 @@ parseBool(const std::string &v)
 std::uint64_t
 parseU64(const std::string &v)
 {
-    std::size_t pos = 0;
-    const auto n = std::stoull(v, &pos);
-    if (pos != v.size())
-        throw std::invalid_argument("not an integer: " + v);
+    std::uint64_t n = 0;
+    if (!tryParseU64(v, n)) {
+        throw std::invalid_argument(
+            "not an unsigned integer: '" + v + "'");
+    }
     return n;
 }
 

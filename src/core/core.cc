@@ -6,6 +6,7 @@
 
 #include "common/bitutils.hh"
 #include "common/profiler.hh"
+#include "common/state_io.hh"
 #include "core/runner.hh"
 
 namespace lrs
@@ -254,6 +255,14 @@ OooCore::registerStats()
 SimResult
 OooCore::run(TraceStream &trace)
 {
+    beginRun(trace);
+    advanceTo(trace);
+    return finishRun();
+}
+
+void
+OooCore::beginRun(TraceStream &trace)
+{
     res_ = SimResult{};
     res_.trace = trace.name();
     res_.config = std::string(orderingSchemeName(cfg_.scheme)) + "/" +
@@ -287,8 +296,16 @@ OooCore::run(TraceStream &trace)
         hChtConf_->reset();
         hHmpConf_->reset();
     }
+}
 
+bool
+OooCore::advanceTo(TraceStream &trace, Cycle stop_at)
+{
     while (!traceDone_ || headSeq_ != nextSeq_) {
+        // Side-effect-free stop check first: state on return is bit-
+        // identical to an uninterrupted run entering cycle stop_at.
+        if (now_ >= stop_at)
+            return false;
         // Cooperative per-run deadline: counted in *simulated* cycles
         // so the same budget trips at the same instruction on any
         // host — the sweep supervisor maps this to a TIMEOUT cell.
@@ -346,6 +363,12 @@ OooCore::run(TraceStream &trace)
         assert(now_ < (trace.size() + 1000) * 64 &&
                "simulated core appears deadlocked");
     }
+    return true;
+}
+
+SimResult
+OooCore::finishRun()
+{
     res_.cycles = now_;
     if (cfg_.statsInterval && now_ > iv_.cycle)
         snapshotInterval(); // flush the final partial interval
@@ -354,6 +377,344 @@ OooCore::run(TraceStream &trace)
     if (cfg_.collectHistograms)
         exportHistograms();
     return res_;
+}
+
+namespace
+{
+
+/** Fixed field order of one serialized RobEntry (see packRobEntry). */
+constexpr std::size_t kRobEntryArity = 37;
+
+json::Value
+packU(std::uint64_t v)
+{
+    return json::Value(v);
+}
+
+json::Value
+packI(std::int64_t v)
+{
+    return json::Value(v);
+}
+
+json::Value
+packB(bool v)
+{
+    return json::Value(static_cast<std::uint64_t>(v ? 1 : 0));
+}
+
+bool
+loadBool(const json::Value &row, std::size_t k)
+{
+    const std::uint64_t v = row.at(k).asU64();
+    if (v > 1)
+        stateio::fail("rob", "boolean field out of range");
+    return v != 0;
+}
+
+} // namespace
+
+json::Value
+OooCore::saveState() const
+{
+    json::Value st = json::Value::object();
+
+    json::Value core = json::Value::object();
+    core.set("now", now_);
+    core.set("head_seq", headSeq_);
+    core.set("next_seq", nextSeq_);
+    core.set("rs_count", static_cast<std::uint64_t>(rsCount_));
+    core.set("pool_used", static_cast<std::uint64_t>(poolUsed_));
+    core.set("fetch_blocked_until", fetchBlockedUntil_);
+    core.set("branch_pending", branchPending_);
+    core.set("last_sta_seq", lastStaSeq_);
+    core.set("have_last_sta", haveLastSta_);
+    core.set("path_hist", pathHist_);
+    core.set("trace_done", traceDone_);
+    core.set("audit_checks", auditChecks_);
+    core.set("audit_countdown", auditCountdown_);
+    core.set("rename_table", stateio::packInts(renameTable_));
+    core.set("rename_seq", stateio::packInts(renameSeq_));
+    // pendingCollision_ is the one dynamically-sized core vector.
+    json::Value pend = json::Value::array();
+    for (const int slot : pendingCollision_)
+        pend.push(packI(slot));
+    core.set("pending_collision", std::move(pend));
+    st.set("core", std::move(core));
+
+    // Every ROB slot verbatim (not just [headSeq_, nextSeq_)): stale
+    // slots are still reachable through rename-table guards, and
+    // restoring them byte-for-byte sidesteps any reasoning about
+    // which stale fields those guards may read.
+    json::Value rob = json::Value::array();
+    for (const RobEntry &e : rob_) {
+        json::Value row = json::Value::array();
+        row.push(packU(e.seq));
+        row.push(packU(static_cast<std::uint64_t>(e.state)));
+        row.push(packI(e.src1Slot));
+        row.push(packI(e.src2Slot));
+        row.push(packU(e.src1Seq));
+        row.push(packU(e.src2Seq));
+        row.push(packU(e.estReady));
+        row.push(packU(e.actualReady));
+        row.push(packU(e.completeAt));
+        row.push(packU(e.stallUntil));
+        row.push(packB(e.everWasted));
+        row.push(packU(static_cast<std::uint64_t>(e.cls)));
+        row.push(packB(e.predColliding));
+        row.push(packU(e.predDistance));
+        row.push(packU(e.actualDistance));
+        row.push(packB(e.hmPredMiss));
+        row.push(packB(e.hmActualMiss));
+        row.push(packB(e.collisionPenalized));
+        row.push(packU(e.waitStoreSeq));
+        row.push(packB(e.waitingOnStore));
+        row.push(packB(e.violationSquash));
+        row.push(packB(e.hasExclTarget));
+        row.push(packU(e.exclStoreSeq));
+        row.push(packU(e.ssWaitSeq));
+        row.push(packU(e.pairSeq));
+        row.push(packB(e.isPairedStd));
+        row.push(packB(e.mispredictedBranch));
+        row.push(packB(e.bankMispredicted));
+        row.push(packU(e.pathAtPredict));
+        row.push(packU(e.uop.pc));
+        row.push(packU(static_cast<std::uint64_t>(e.uop.cls)));
+        row.push(packI(e.uop.src1));
+        row.push(packI(e.uop.src2));
+        row.push(packI(e.uop.dst));
+        row.push(packU(e.uop.addr));
+        row.push(packU(e.uop.memSize));
+        row.push(packB(e.uop.taken));
+        rob.push(std::move(row));
+    }
+    st.set("rob", std::move(rob));
+
+    json::Value iv = json::Value::object();
+    iv.set("cycle", iv_.cycle);
+    iv.set("uops", iv_.uops);
+    iv.set("wasted", iv_.wasted);
+    iv.set("loads", iv_.loads);
+    iv.set("classified", iv_.classified);
+    iv.set("cht_mis", iv_.chtMis);
+    iv.set("hmp_mis", iv_.hmpMis);
+    iv.set("bank_mis", iv_.bankMis);
+    iv.set("occ_sched", iv_.occSched);
+    iv.set("occ_rob", iv_.occRob);
+    iv.set("countdown", iv_.countdown);
+    st.set("interval", std::move(iv));
+
+    st.set("result", res_.saveState());
+    st.set("mem", mem_.saveState());
+    st.set("mob", mob_.saveState());
+    st.set("branch_pred", branchPred_.saveState());
+    if (cht_)
+        st.set("cht", cht_->saveState());
+    if (hmp_)
+        st.set("hmp", hmp_->saveState());
+    if (bankPred_)
+        st.set("bank_pred", bankPred_->saveState());
+    if (barrierCache_)
+        st.set("barrier_cache", barrierCache_->saveState());
+    if (storeSets_)
+        st.set("store_sets", storeSets_->saveState());
+    if (prefetcher_)
+        st.set("prefetcher", prefetcher_->saveState());
+    if (faults_)
+        st.set("faults", faults_->saveState());
+
+    if (cfg_.collectHistograms) {
+        json::Value h = json::Value::object();
+        h.set("load_to_use", hLoadUse_->toJson());
+        h.set("replay_distance", hReplayDist_->toJson());
+        h.set("occ_sched", hOccSched_->toJson());
+        h.set("occ_rob", hOccRob_->toJson());
+        h.set("occ_mob", hOccMob_->toJson());
+        h.set("cht_confidence", hChtConf_->toJson());
+        h.set("hmp_confidence", hHmpConf_->toJson());
+        st.set("hist", std::move(h));
+    }
+
+    return st;
+}
+
+void
+OooCore::loadState(const json::Value &state, TraceStream &trace)
+{
+    const json::Value &core = stateio::need(state, "core");
+    now_ = stateio::needU64(core, "now");
+    headSeq_ = stateio::needU64(core, "head_seq");
+    nextSeq_ = stateio::needU64(core, "next_seq");
+    const std::uint64_t rs = stateio::needU64(core, "rs_count");
+    const std::uint64_t pool = stateio::needU64(core, "pool_used");
+    if (rs > static_cast<std::uint64_t>(cfg_.schedWindow) ||
+        pool > static_cast<std::uint64_t>(cfg_.regPool)) {
+        stateio::fail("core", "occupancy exceeds the configured "
+                              "window/pool sizes");
+    }
+    rsCount_ = static_cast<int>(rs);
+    poolUsed_ = static_cast<int>(pool);
+    fetchBlockedUntil_ = stateio::needU64(core, "fetch_blocked_until");
+    branchPending_ = stateio::needBool(core, "branch_pending");
+    lastStaSeq_ = stateio::needU64(core, "last_sta_seq");
+    haveLastSta_ = stateio::needBool(core, "have_last_sta");
+    pathHist_ = stateio::needU64(core, "path_hist");
+    traceDone_ = stateio::needBool(core, "trace_done");
+    auditChecks_ = stateio::needU64(core, "audit_checks");
+    auditCountdown_ = stateio::needU64(core, "audit_countdown");
+    stateio::unpackInts(core, "rename_table", renameTable_);
+    stateio::unpackInts(core, "rename_seq", renameSeq_);
+    const json::Value &pend = stateio::need(core, "pending_collision");
+    if (!pend.isArray())
+        stateio::fail("pending_collision", "expected an array");
+    pendingCollision_.clear();
+    pendingCollision_.reserve(pend.size());
+    for (std::size_t k = 0; k < pend.size(); ++k) {
+        const std::int64_t slot = pend.at(k).asI64();
+        if (slot < 0 ||
+            slot >= static_cast<std::int64_t>(rob_.size()))
+            stateio::fail("pending_collision", "slot out of range");
+        pendingCollision_.push_back(static_cast<int>(slot));
+    }
+
+    const json::Value &rob = stateio::need(state, "rob");
+    if (!rob.isArray() || rob.size() != rob_.size()) {
+        stateio::fail("rob", "ROB image does not match the configured "
+                             "rob_size");
+    }
+    for (std::size_t s = 0; s < rob_.size(); ++s) {
+        const json::Value &row = rob.at(s);
+        if (!row.isArray() || row.size() != kRobEntryArity)
+            stateio::fail("rob", "malformed ROB entry row");
+        RobEntry &e = rob_[s];
+        e.seq = row.at(0).asU64();
+        const std::uint64_t stv = row.at(1).asU64();
+        if (stv > static_cast<std::uint64_t>(State::Issued))
+            stateio::fail("rob", "entry state out of range");
+        e.state = static_cast<State>(stv);
+        e.src1Slot = static_cast<int>(row.at(2).asI64());
+        e.src2Slot = static_cast<int>(row.at(3).asI64());
+        e.src1Seq = row.at(4).asU64();
+        e.src2Seq = row.at(5).asU64();
+        e.estReady = row.at(6).asU64();
+        e.actualReady = row.at(7).asU64();
+        e.completeAt = row.at(8).asU64();
+        e.stallUntil = row.at(9).asU64();
+        e.everWasted = loadBool(row, 10);
+        const std::uint64_t clv = row.at(11).asU64();
+        if (clv > static_cast<std::uint64_t>(LoadClass::Colliding))
+            stateio::fail("rob", "load class out of range");
+        e.cls = static_cast<LoadClass>(clv);
+        e.predColliding = loadBool(row, 12);
+        e.predDistance = static_cast<unsigned>(row.at(13).asU64());
+        e.actualDistance = static_cast<unsigned>(row.at(14).asU64());
+        e.hmPredMiss = loadBool(row, 15);
+        e.hmActualMiss = loadBool(row, 16);
+        e.collisionPenalized = loadBool(row, 17);
+        e.waitStoreSeq = row.at(18).asU64();
+        e.waitingOnStore = loadBool(row, 19);
+        e.violationSquash = loadBool(row, 20);
+        e.hasExclTarget = loadBool(row, 21);
+        e.exclStoreSeq = row.at(22).asU64();
+        e.ssWaitSeq = row.at(23).asU64();
+        e.pairSeq = row.at(24).asU64();
+        e.isPairedStd = loadBool(row, 25);
+        e.mispredictedBranch = loadBool(row, 26);
+        e.bankMispredicted = loadBool(row, 27);
+        e.pathAtPredict = row.at(28).asU64();
+        e.uop.pc = row.at(29).asU64();
+        const std::uint64_t ucv = row.at(30).asU64();
+        if (ucv > static_cast<std::uint64_t>(UopClass::Branch))
+            stateio::fail("rob", "uop class out of range");
+        e.uop.cls = static_cast<UopClass>(ucv);
+        e.uop.src1 = static_cast<std::int8_t>(row.at(31).asI64());
+        e.uop.src2 = static_cast<std::int8_t>(row.at(32).asI64());
+        e.uop.dst = static_cast<std::int8_t>(row.at(33).asI64());
+        e.uop.addr = row.at(34).asU64();
+        e.uop.memSize =
+            static_cast<std::uint8_t>(row.at(35).asU64());
+        e.uop.taken = loadBool(row, 36);
+    }
+
+    const json::Value &iv = stateio::need(state, "interval");
+    iv_.cycle = stateio::needU64(iv, "cycle");
+    iv_.uops = stateio::needU64(iv, "uops");
+    iv_.wasted = stateio::needU64(iv, "wasted");
+    iv_.loads = stateio::needU64(iv, "loads");
+    iv_.classified = stateio::needU64(iv, "classified");
+    iv_.chtMis = stateio::needU64(iv, "cht_mis");
+    iv_.hmpMis = stateio::needU64(iv, "hmp_mis");
+    iv_.bankMis = stateio::needU64(iv, "bank_mis");
+    iv_.occSched = stateio::needU64(iv, "occ_sched");
+    iv_.occRob = stateio::needU64(iv, "occ_rob");
+    iv_.countdown = stateio::needU64(iv, "countdown");
+
+    res_.loadState(stateio::need(state, "result"));
+    mem_.loadState(stateio::need(state, "mem"));
+    mob_.loadState(stateio::need(state, "mob"));
+    branchPred_.loadState(stateio::need(state, "branch_pred"));
+
+    // Optional components restore only when BOTH the machine and the
+    // snapshot have them. A cross-scheme warmup fork (snapshot taken
+    // under the grid's base scheme, restored into a variant) leaves
+    // the variant-only structures cold — the documented semantics of
+    // the warm-once protocol (docs/ROBUSTNESS.md, "Snapshots").
+    const auto loadOpt = [&state](const char *key, auto &component) {
+        if (!component)
+            return;
+        if (const json::Value *sec = state.find(key))
+            component->loadState(*sec);
+    };
+    loadOpt("cht", cht_);
+    loadOpt("hmp", hmp_);
+    loadOpt("bank_pred", bankPred_);
+    loadOpt("barrier_cache", barrierCache_);
+    loadOpt("store_sets", storeSets_);
+    loadOpt("prefetcher", prefetcher_);
+    if (faults_) {
+        if (const json::Value *sec = state.find("faults"))
+            faults_->loadState(*sec);
+    }
+
+    if (cfg_.collectHistograms) {
+        if (const json::Value *h = state.find("hist")) {
+            *hLoadUse_ =
+                Log2Histogram::fromJson(stateio::need(*h, "load_to_use"));
+            *hReplayDist_ = Log2Histogram::fromJson(
+                stateio::need(*h, "replay_distance"));
+            *hOccSched_ =
+                Log2Histogram::fromJson(stateio::need(*h, "occ_sched"));
+            *hOccRob_ =
+                Log2Histogram::fromJson(stateio::need(*h, "occ_rob"));
+            *hOccMob_ =
+                Log2Histogram::fromJson(stateio::need(*h, "occ_mob"));
+            *hChtConf_ = Log2Histogram::fromJson(
+                stateio::need(*h, "cht_confidence"));
+            *hHmpConf_ = Log2Histogram::fromJson(
+                stateio::need(*h, "hmp_confidence"));
+        } else {
+            hLoadUse_->reset();
+            hReplayDist_->reset();
+            hOccSched_->reset();
+            hOccRob_->reset();
+            hOccMob_->reset();
+            hChtConf_->reset();
+            hHmpConf_->reset();
+        }
+    }
+
+    // Labels are config-derived, never snapshot-derived: a warmup
+    // fork must report the scheme it RUNS, not the one it warmed
+    // under, and for a same-config restore the recomputation is
+    // byte-identical anyway.
+    res_.trace = trace.name();
+    res_.config = std::string(orderingSchemeName(cfg_.scheme)) + "/" +
+                  hmpKindName(cfg_.hmp);
+    res_.statsInterval = cfg_.statsInterval;
+
+    // Every uop renamed so far came from exactly one trace.next(), so
+    // the snapshot's fetch position IS nextSeq_.
+    trace.seek(nextSeq_);
 }
 
 void

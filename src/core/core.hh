@@ -58,6 +58,39 @@ class OooCore
     /** Simulate @p trace to completion and return the statistics. */
     SimResult run(TraceStream &trace);
 
+    // --- stepped execution (machine snapshots, core/snapshot.hh) ---
+    /** Reset the machine and bind a fresh run to @p trace (cycle 0). */
+    void beginRun(TraceStream &trace);
+
+    /**
+     * Advance until the machine drains or now() reaches @p stop_at,
+     * whichever comes first. The stop check sits at the top of the
+     * cycle loop, before any side effect, so the machine state on
+     * return is exactly the state an uninterrupted run has entering
+     * cycle stop_at — the property the snapshot bit-identity contract
+     * rests on. Returns true when the run completed (machine drained).
+     */
+    bool advanceTo(TraceStream &trace, Cycle stop_at = kCycleNever);
+
+    /** Close out a drained run and return the statistics. */
+    SimResult finishRun();
+
+    /** Current simulated cycle of the run in progress. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): serialize /
+     * restore the complete dynamic state at an advanceTo() boundary.
+     * loadState() replaces beginRun(): it rebinds @p trace (seeking
+     * it to the snapshot's fetch position) and restores every
+     * component this machine shares with the snapshot. Sections for
+     * components only one side has (cross-scheme warmup forks) start
+     * cold; everything else must restore exactly or the load throws
+     * ConfigError(E_JOURNAL_INVALID).
+     */
+    json::Value saveState() const;
+    void loadState(const json::Value &state, TraceStream &trace);
+
     const MachineConfig &config() const { return cfg_; }
 
     /**

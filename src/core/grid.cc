@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/diag.hh"
+#include "common/parse.hh"
 #include "core/config_io.hh"
 #include "core/runner.hh"
 #include "trace/library.hh"
@@ -46,15 +47,10 @@ std::uint64_t
 parseU64(const std::string &origin, const std::string &key,
          const std::string &value)
 {
-    try {
-        std::size_t used = 0;
-        const std::uint64_t v = std::stoull(value, &used);
-        if (used != value.size())
-            throw std::invalid_argument(value);
-        return v;
-    } catch (const std::exception &) {
+    std::uint64_t v = 0;
+    if (!tryParseU64(value, v))
         throwGrid(origin, "bad " + key + " value '" + value + "'");
-    }
+    return v;
 }
 
 } // namespace
@@ -101,6 +97,10 @@ parseBatchGrid(std::istream &is, const std::string &origin)
         } else if (key == "jobs") {
             grid.jobs =
                 static_cast<unsigned>(parseU64(origin, key, value));
+        } else if (key == "warmup_snapshot") {
+            grid.warmupSnapshot = parseU64(origin, key, value);
+        } else if (key == "snapshot_dir") {
+            grid.snapshotDir = value;
         } else {
             cfg_lines << line << '\n';
         }

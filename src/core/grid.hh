@@ -40,6 +40,17 @@ struct BatchGrid
     std::vector<OrderingScheme> schemes;
     std::uint64_t len = 200000;
     unsigned jobs = 0;
+    /**
+     * Warm-once sampling (ini key `warmup_snapshot`, 0 = off): every
+     * trace is simulated once under the base config to this cycle,
+     * the machine state is checkpointed, and each scheme cell of that
+     * trace resumes from the checkpoint instead of re-warming —
+     * docs/ROBUSTNESS.md, "Snapshots".
+     */
+    std::uint64_t warmupSnapshot = 0;
+    /** Where warmup checkpoints are kept (ini key `snapshot_dir`);
+     *  empty = alongside the journal / a temp dir. */
+    std::string snapshotDir;
     MachineConfig base;
 
     std::size_t cells() const

@@ -3,6 +3,7 @@
 #include "core/core.hh"
 #include "core/flight_recorder.hh"
 #include "core/runner.hh"
+#include "core/snapshot.hh"
 #include "trace/library.hh"
 
 namespace lrs
@@ -264,7 +265,15 @@ runOneSimJob(const SimJob &job, FlightRecorder *fr)
         auto trace = TraceLibrary::make(job.trace);
         OooCore core(job.cfg);
         core.attachFlightRecorder(fr);
-        o.result = core.run(*trace);
+        if (!job.fromSnapshot.empty()) {
+            // Warm-once sampling: restore the trace's checkpoint and
+            // simulate only the measured region.
+            loadSnapshotInto(job.fromSnapshot, core, *trace);
+            core.advanceTo(*trace);
+            o.result = core.finishRun();
+        } else {
+            o.result = core.run(*trace);
+        }
     } catch (const std::exception &e) {
         // Everything — including an AuditError from a fault-injected
         // cell — fails only this cell; the grid carries on and the

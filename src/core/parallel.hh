@@ -63,6 +63,13 @@ struct SimJob
 {
     TraceParams trace;
     MachineConfig cfg;
+    /**
+     * When non-empty, the run restores this warmup checkpoint
+     * (core/snapshot.hh) instead of starting cold, then advances to
+     * completion. Travels with the job through every execution mode —
+     * thread pool, --resume, --isolate subprocesses.
+     */
+    std::string fromSnapshot;
 };
 
 /**

@@ -167,6 +167,16 @@ struct SimResult
      * series, one JSON array per metric) as a JSON object.
      */
     json::Value toJson() const;
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): every field
+     * exactly, with interval-series doubles carried as IEEE-754 bit
+     * patterns so a restored run's final report is byte-identical to
+     * an uninterrupted one. Unlike toJson() (the human/tool export),
+     * this pair is a lossless round trip.
+     */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
 };
 
 } // namespace lrs

@@ -1,12 +1,12 @@
 #include "core/runner.hh"
 
 #include <atomic>
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/diag.hh"
+#include "common/parse.hh"
 #include "core/parallel.hh"
 
 namespace lrs
@@ -115,15 +115,12 @@ envU64(const char *name, std::uint64_t fallback)
     const char *s = std::getenv(name);
     if (!s || !*s)
         return fallback;
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
     // An override that was set but cannot be parsed — or one so large
-    // that strtoull clamped it to ULLONG_MAX (ERANGE), or a negative
-    // that it would silently wrap — is almost certainly a typo'd
-    // experiment; silently running with anything else would fake a
-    // result. Warn once per lookup.
-    if (end == s || *end != '\0' || errno == ERANGE || s[0] == '-') {
+    // it would clamp, or a negative that would silently wrap — is
+    // almost certainly a typo'd experiment; silently running with
+    // anything else would fake a result. Warn once per lookup.
+    std::uint64_t v = 0;
+    if (!tryParseU64(s, v)) {
         std::fprintf(stderr,
                      "warning: ignoring unparsable %s=\"%s\" "
                      "(using %llu)\n",

@@ -1,0 +1,295 @@
+#include "core/snapshot.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/diag.hh"
+#include "common/io.hh"
+#include "common/journal.hh"
+#include "core/config_io.hh"
+#include "core/core.hh"
+#include "core/grid.hh"
+#include "core/parallel.hh"
+#include "trace/library.hh"
+#include "trace/stream.hh"
+
+namespace lrs
+{
+
+namespace
+{
+
+[[noreturn]] void
+badSnapshot(const std::string &path, const std::string &message)
+{
+    throw ConfigError(makeDiag(DiagCode::JournalInvalid,
+                               "core.snapshot", "file",
+                               message + " (" + path + ")"));
+}
+
+[[noreturn]] void
+ioFail(DiagCode code, const std::string &path, const char *what)
+{
+    throw IoError(makeDiag(code, "core.snapshot", "path",
+                           std::string(what) + ": " + path));
+}
+
+/** Strict field accessors on a parsed (trusted-framing) record. */
+std::uint64_t
+fieldU64(const json::Value &rec, const char *key,
+         const std::string &path)
+{
+    const json::Value *v = rec.find(key);
+    if (!v || !v->isNumber())
+        badSnapshot(path, std::string("missing/non-numeric field '") +
+                              key + "'");
+    return v->asU64();
+}
+
+std::string
+fieldString(const json::Value &rec, const char *key,
+            const std::string &path)
+{
+    const json::Value *v = rec.find(key);
+    if (!v || !v->isString())
+        badSnapshot(path, std::string("missing/non-string field '") +
+                              key + "'");
+    return v->asString();
+}
+
+/** mkdir -p: create every missing component of @p dir. */
+void
+ensureDir(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    std::string cur;
+    std::istringstream is(dir);
+    std::string part;
+    if (dir[0] == '/')
+        cur = "/";
+    while (std::getline(is, part, '/')) {
+        if (part.empty())
+            continue;
+        cur += part;
+        if (::mkdir(cur.c_str(), 0755) != 0 && errno != EEXIST)
+            ioFail(DiagCode::IoOpenFailed, cur,
+                   "cannot create directory");
+        cur += '/';
+    }
+}
+
+} // namespace
+
+void
+writeSnapshot(const std::string &path, const OooCore &core,
+              const TraceStream &trace, Cycle target)
+{
+    const json::Value state = core.saveState();
+
+    json::Value header = json::Value::object();
+    header.set("kind", json::Value("lrs-snapshot"));
+    header.set("version", json::Value(kSnapshotFormatVersion));
+    header.set("cycle", json::Value(core.now()));
+    header.set("target", json::Value(target));
+    header.set("trace", json::Value(trace.name()));
+    header.set("trace_size",
+               json::Value(static_cast<std::uint64_t>(trace.size())));
+    header.set("config", json::Value(machineConfigToIni(core.config())));
+    header.set("sections", json::Value(static_cast<std::uint64_t>(
+                               state.members().size())));
+
+    std::string out = journalLine(header);
+    for (const auto &[name, section] : state.members()) {
+        json::Value rec = json::Value::object();
+        rec.set("section", json::Value(name));
+        rec.set("state", section);
+        out += journalLine(rec);
+    }
+    json::Value end = json::Value::object();
+    end.set("kind", json::Value("lrs-snapshot-end"));
+    end.set("sections", json::Value(static_cast<std::uint64_t>(
+                            state.members().size())));
+    out += journalLine(end);
+
+    // Temp-write + fsync + rename (the flight recorder's discipline):
+    // a SIGKILL at any instant leaves either the previous complete
+    // snapshot at @p path or none — never a torn file.
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(
+        tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        ioFail(DiagCode::IoOpenFailed, tmp, "cannot open");
+    if (!writeFully(fd, out)) {
+        ::close(fd);
+        ioFail(DiagCode::IoWriteFailed, tmp, "write failed");
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0)
+        ioFail(DiagCode::IoWriteFailed, tmp, "sync failed");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        ioFail(DiagCode::IoWriteFailed, path, "rename failed");
+}
+
+SnapshotImage
+readSnapshot(const std::string &path)
+{
+    // The journal reader resyncs past damage and keeps counting; a
+    // snapshot turns that accounting into a hard rejection — a machine
+    // restored from a partially damaged checkpoint would be subtly,
+    // silently wrong.
+    JournalReadStats stats;
+    const std::vector<json::Value> records = readJournal(path, &stats);
+    if (stats.badLines)
+        badSnapshot(path, "damaged record lines");
+    if (stats.truncatedTail)
+        badSnapshot(path, "truncated tail");
+    if (records.size() < 2)
+        badSnapshot(path, "too few records for header + end marker");
+
+    const json::Value &header = records.front();
+    if (!header.isObject() ||
+        fieldString(header, "kind", path) != "lrs-snapshot")
+        badSnapshot(path, "first record is not a snapshot header");
+    SnapshotImage img;
+    img.version = fieldU64(header, "version", path);
+    if (img.version != kSnapshotFormatVersion)
+        badSnapshot(path, "unsupported format version " +
+                              std::to_string(img.version));
+    img.cycle = fieldU64(header, "cycle", path);
+    img.target = fieldU64(header, "target", path);
+    img.traceName = fieldString(header, "trace", path);
+    img.traceSize = fieldU64(header, "trace_size", path);
+    img.configIni = fieldString(header, "config", path);
+    const std::uint64_t sections = fieldU64(header, "sections", path);
+
+    const json::Value &end = records.back();
+    if (!end.isObject() ||
+        fieldString(end, "kind", path) != "lrs-snapshot-end")
+        badSnapshot(path, "missing end marker");
+    if (fieldU64(end, "sections", path) != sections ||
+        records.size() != sections + 2)
+        badSnapshot(path, "section count mismatch");
+
+    img.state = json::Value::object();
+    for (std::size_t i = 1; i + 1 < records.size(); ++i) {
+        const json::Value &rec = records[i];
+        if (!rec.isObject())
+            badSnapshot(path, "section record is not an object");
+        const std::string name = fieldString(rec, "section", path);
+        const json::Value *state = rec.find("state");
+        if (!state)
+            badSnapshot(path, "section '" + name + "' has no state");
+        if (img.state.find(name))
+            badSnapshot(path, "duplicate section '" + name + "'");
+        img.state.set(name, *state);
+    }
+    return img;
+}
+
+void
+restoreSnapshot(const SnapshotImage &img, OooCore &core,
+                TraceStream &trace)
+{
+    // Trace identity is checked; config identity deliberately is NOT:
+    // the warm-fork protocol restores a base-config checkpoint into
+    // scheme variants (see file comment in snapshot.hh).
+    if (img.traceName != trace.name())
+        badSnapshot(img.traceName,
+                    "snapshot is for trace '" + img.traceName +
+                        "', not '" + trace.name() + "'");
+    if (img.traceSize != trace.size())
+        badSnapshot(img.traceName,
+                    "snapshot trace has " +
+                        std::to_string(img.traceSize) + " uops, ours " +
+                        std::to_string(trace.size()));
+    core.loadState(img.state, trace);
+}
+
+void
+loadSnapshotInto(const std::string &path, OooCore &core,
+                 TraceStream &trace)
+{
+    restoreSnapshot(readSnapshot(path), core, trace);
+}
+
+std::string
+warmupSnapshotPath(const std::string &dir,
+                   const std::string &trace_name)
+{
+    return dir + "/" + trace_name + ".warmup.snap";
+}
+
+std::string
+snapshotDirFor(const BatchGrid &grid, const std::string &fallback_base)
+{
+    return grid.snapshotDir.empty() ? fallback_base + ".snapshots"
+                                    : grid.snapshotDir;
+}
+
+void
+prepareWarmupSnapshots(const BatchGrid &grid, const std::string &dir,
+                       unsigned workers)
+{
+    ensureDir(dir);
+    const std::string wantConfig = machineConfigToIni(grid.base);
+
+    // Worth-reusing check: a leftover checkpoint is only trusted when
+    // it validates end to end AND matches this sweep's identity; any
+    // mismatch, damage or torn file is rewritten (crash recovery).
+    const auto reusable = [&](const std::string &path,
+                              const std::string &trace_name) {
+        try {
+            const SnapshotImage img = readSnapshot(path);
+            return img.target == grid.warmupSnapshot &&
+                   img.traceName == trace_name &&
+                   img.configIni == wantConfig;
+        } catch (const IoError &) {
+            return false; // absent / unreadable
+        } catch (const ConfigError &) {
+            return false; // damaged / stale format
+        }
+    };
+
+    SimJobPool pool(workers);
+    std::vector<std::exception_ptr> errors(grid.traces.size());
+    pool.forEach(grid.traces.size(), [&](std::size_t i) {
+        try {
+            const std::string &name = grid.traces[i];
+            const std::string path = warmupSnapshotPath(dir, name);
+            if (reusable(path, name))
+                return;
+            const TraceParams tp =
+                TraceLibrary::byName(name, grid.len);
+            auto trace = TraceLibrary::make(tp);
+            OooCore core(grid.base);
+            core.beginRun(*trace);
+            core.advanceTo(*trace, grid.warmupSnapshot);
+            writeSnapshot(path, core, *trace, grid.warmupSnapshot);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    });
+    for (const auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+void
+attachWarmupSnapshots(const BatchGrid &grid, const std::string &dir,
+                      std::vector<SimJob> &jobs)
+{
+    // buildGridJobs() is trace-major: cell i's trace is i/nschemes.
+    const std::size_t nschemes = grid.schemes.size();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].fromSnapshot =
+            warmupSnapshotPath(dir, grid.traces[i / nschemes]);
+}
+
+} // namespace lrs

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/diag.hh"
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -95,6 +96,15 @@ class Cache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t dynamicMisses() const { return dynMisses_; }
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): every line's tag /
+     * fill time / LRU stamp / valid bit plus the aggregate counters,
+     * exactly. loadState() requires the same geometry (line count)
+     * and throws ConfigError(E_JOURNAL_INVALID) otherwise.
+     */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
 
   private:
     struct Line

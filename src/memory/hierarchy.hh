@@ -85,6 +85,10 @@ class MemoryHierarchy
      */
     void registerStats(StatsGroup g);
 
+    /** Machine-snapshot support: both levels, exactly. */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
+
     /** Total latency of an L1 hit. */
     Cycle l1Latency() const { return params_.l1.latency; }
     /** Total latency of an L1 miss / L2 hit. */

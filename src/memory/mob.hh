@@ -28,6 +28,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/json.hh"
 #include "common/stats_registry.hh"
 #include "common/types.hh"
 
@@ -162,6 +163,13 @@ class Mob
     {
         return stores_;
     }
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): every in-window
+     * store record plus the lifetime counters, exactly.
+     */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
 
   private:
     /** Stores in program order (oldest first). */

@@ -1,6 +1,7 @@
 #include "predictors/addr_pred.hh"
 
 #include "common/diag.hh"
+#include "common/state_io.hh"
 
 namespace lrs
 {
@@ -78,6 +79,45 @@ LoadAddressPredictor::reset()
 {
     for (auto &e : table_)
         e = Entry{};
+}
+
+json::Value
+LoadAddressPredictor::saveState() const
+{
+    json::Value recs = json::Value::array();
+    for (const Entry &e : table_) {
+        json::Value rec = json::Value::array();
+        rec.push(json::Value(static_cast<std::uint64_t>(e.tag)));
+        rec.push(json::Value(static_cast<std::uint64_t>(e.valid)));
+        rec.push(json::Value(e.lastAddr));
+        rec.push(json::Value(static_cast<std::int64_t>(e.stride)));
+        rec.push(json::Value(static_cast<std::uint64_t>(e.conf)));
+        recs.push(std::move(rec));
+    }
+    json::Value st = json::Value::object();
+    st.set("table", std::move(recs));
+    return st;
+}
+
+void
+LoadAddressPredictor::loadState(const json::Value &state)
+{
+    const json::Value &recs = stateio::need(state, "table");
+    if (!recs.isArray() || recs.size() != table_.size()) {
+        stateio::fail("table", "address-predictor table does not "
+                               "match the configured geometry");
+    }
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        const json::Value &rec = recs.at(i);
+        if (!rec.isArray() || rec.size() != 5)
+            stateio::fail("table", "entry has wrong arity");
+        Entry &e = table_[i];
+        e.tag = static_cast<std::uint32_t>(rec.at(0).asU64());
+        e.valid = rec.at(1).asU64() != 0;
+        e.lastAddr = rec.at(2).asU64();
+        e.stride = rec.at(3).asI64();
+        e.conf = static_cast<std::uint8_t>(rec.at(4).asU64());
+    }
 }
 
 std::size_t

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bitutils.hh"
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -55,6 +56,10 @@ class LoadAddressPredictor
     void reset();
     std::size_t storageBits() const;
     std::string name() const { return "stride-addr"; }
+
+    /** Machine-snapshot support: every table entry, exactly. */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
 
   private:
     struct Entry

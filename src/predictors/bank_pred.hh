@@ -82,6 +82,17 @@ class BankPredictor
                   },
                   "hardware budget of this predictor");
     }
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh). Default: nothing
+     * to save (no stateless bank predictor exists today, but the
+     * interface mirrors HitMissPredictor's).
+     */
+    virtual json::Value saveState() const
+    {
+        return json::Value::object();
+    }
+    virtual void loadState(const json::Value & /*state*/) {}
 };
 
 /**
@@ -116,6 +127,20 @@ class BinaryBankPredictor : public BankPredictor
     }
 
     std::string name() const override { return name_; }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("composite", composite_->saveState());
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        composite_->loadState(stateio::need(state, "composite"));
+    }
 
   private:
     std::string name_;
@@ -173,6 +198,20 @@ class AddressBankPredictor : public BankPredictor
 
     std::string name() const override { return "addr"; }
 
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("ap", ap_.saveState());
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        ap_.loadState(stateio::need(state, "ap"));
+    }
+
   private:
     unsigned lineBytes_;
     unsigned numBanks_;
@@ -203,6 +242,9 @@ class PerBitBankPredictor : public BankPredictor
     void update(Addr pc, unsigned bank) override;
     std::size_t storageBits() const override;
     std::string name() const override;
+
+    json::Value saveState() const override;
+    void loadState(const json::Value &state) override;
 
     unsigned numBanks() const { return numBanks_; }
 

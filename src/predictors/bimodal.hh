@@ -12,6 +12,7 @@
 
 #include "common/bitutils.hh"
 #include "common/sat_counter.hh"
+#include "common/state_io.hh"
 #include "predictors/binary.hh"
 
 namespace lrs
@@ -63,6 +64,20 @@ class BimodalPredictor : public BinaryPredictor
     }
 
     std::string name() const override { return "bimodal"; }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("table", stateio::packCounters(table_));
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        stateio::unpackCounters(state, "table", table_);
+    }
 
   private:
     std::size_t index(Addr pc) const

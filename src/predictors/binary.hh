@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <string>
 
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -53,6 +54,16 @@ class BinaryPredictor
 
     /** Short name for reports ("gshare", "local", ...). */
     virtual std::string name() const = 0;
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): serialize every
+     * mutable table/history exactly, such that a same-configured
+     * predictor restored via loadState() predicts and trains
+     * bit-identically from here on. loadState() throws
+     * ConfigError(E_JOURNAL_INVALID) on a geometry mismatch.
+     */
+    virtual json::Value saveState() const = 0;
+    virtual void loadState(const json::Value &state) = 0;
 };
 
 } // namespace lrs

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "predictors/binary.hh"
 
 namespace lrs
@@ -94,6 +95,31 @@ class CompositePredictor : public BinaryPredictor
     std::string name() const override;
 
     std::size_t numComponents() const { return components_.size(); }
+
+    /** Per-component fan-out, positional (composition is config). */
+    json::Value
+    saveState() const override
+    {
+        json::Value arr = json::Value::array();
+        for (const auto &c : components_)
+            arr.push(c.pred->saveState());
+        json::Value st = json::Value::object();
+        st.set("components", std::move(arr));
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        const json::Value &arr = stateio::need(state, "components");
+        if (!arr.isArray() || arr.size() != components_.size()) {
+            stateio::fail("components",
+                          "composite component count does not match "
+                          "the configured predictor");
+        }
+        for (std::size_t i = 0; i < components_.size(); ++i)
+            components_[i].pred->loadState(arr.at(i));
+    }
 
   private:
     std::vector<Component> components_;

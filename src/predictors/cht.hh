@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/diag.hh"
+#include "common/json.hh"
 #include "common/stats_registry.hh"
 #include "common/types.hh"
 
@@ -156,6 +157,14 @@ class Cht
 
     /** Register this table's stats under @p g (e.g. "pred.cht"). */
     void registerStats(StatsGroup g);
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): every tagged
+     * entry, both tagless tables, the LRU tick and the update count,
+     * exactly. loadState() requires the same geometry.
+     */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
 
   private:
     struct Entry

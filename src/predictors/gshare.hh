@@ -13,6 +13,7 @@
 
 #include "common/bitutils.hh"
 #include "common/sat_counter.hh"
+#include "common/state_io.hh"
 #include "predictors/binary.hh"
 
 namespace lrs
@@ -70,6 +71,22 @@ class GsharePredictor : public BinaryPredictor
     }
 
     std::string name() const override { return "gshare"; }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("ghist", json::Value(ghist_));
+        st.set("pht", stateio::packCounters(pht_));
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        stateio::unpackCounters(state, "pht", pht_);
+        ghist_ = stateio::needU64(state, "ghist") & mask(histBits_);
+    }
 
   private:
     /** PHT size is 2^history_bits; cap it before the allocation. */

@@ -16,6 +16,7 @@
 
 #include "common/bitutils.hh"
 #include "common/sat_counter.hh"
+#include "common/state_io.hh"
 #include "predictors/binary.hh"
 
 namespace lrs
@@ -79,6 +80,26 @@ class GskewPredictor : public BinaryPredictor
     }
 
     std::string name() const override { return "gskew"; }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("ghist", json::Value(ghist_));
+        st.set("bank0", stateio::packCounters(banks_[0]));
+        st.set("bank1", stateio::packCounters(banks_[1]));
+        st.set("bank2", stateio::packCounters(banks_[2]));
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        stateio::unpackCounters(state, "bank0", banks_[0]);
+        stateio::unpackCounters(state, "bank1", banks_[1]);
+        stateio::unpackCounters(state, "bank2", banks_[2]);
+        ghist_ = stateio::needU64(state, "ghist") & mask(histBits_);
+    }
 
   private:
     std::size_t

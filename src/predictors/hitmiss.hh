@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "common/state_io.hh"
 #include "common/stats_registry.hh"
 #include "predictors/addr_pred.hh"
 #include "predictors/binary.hh"
@@ -96,6 +97,17 @@ class HitMissPredictor
                   },
                   "hardware budget of this predictor");
     }
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh). The default suits
+     * stateless predictors (always-hit, perfect): nothing to save,
+     * nothing to restore.
+     */
+    virtual json::Value saveState() const
+    {
+        return json::Value::object();
+    }
+    virtual void loadState(const json::Value & /*state*/) {}
 };
 
 /** The baseline: every load is predicted to hit. */
@@ -145,6 +157,20 @@ class TableHmp : public HitMissPredictor
     }
 
     std::string name() const override { return pred_->name(); }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("pred", pred_->saveState());
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        pred_->loadState(stateio::need(state, "pred"));
+    }
 
   private:
     std::unique_ptr<BinaryPredictor> pred_;
@@ -212,6 +238,22 @@ class TimingHmp : public HitMissPredictor
     std::string name() const override
     {
         return inner_->name() + "+timing";
+    }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("inner", inner_->saveState());
+        st.set("ap", ap_.saveState());
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        inner_->loadState(stateio::need(state, "inner"));
+        ap_.loadState(stateio::need(state, "ap"));
     }
 
   private:

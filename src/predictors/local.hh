@@ -15,6 +15,7 @@
 
 #include "common/bitutils.hh"
 #include "common/sat_counter.hh"
+#include "common/state_io.hh"
 #include "predictors/binary.hh"
 
 namespace lrs
@@ -73,6 +74,22 @@ class LocalPredictor : public BinaryPredictor
     }
 
     std::string name() const override { return "local"; }
+
+    json::Value
+    saveState() const override
+    {
+        json::Value st = json::Value::object();
+        st.set("histories", stateio::packInts(histories_));
+        st.set("pht", stateio::packCounters(pht_));
+        return st;
+    }
+
+    void
+    loadState(const json::Value &state) override
+    {
+        stateio::unpackInts(state, "histories", histories_);
+        stateio::unpackCounters(state, "pht", pht_);
+    }
 
   private:
     /** The PHT is 2^(history+pc) entries; validate before allocating. */

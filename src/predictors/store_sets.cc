@@ -4,6 +4,7 @@
 
 #include "common/bitutils.hh"
 #include "common/diag.hh"
+#include "common/state_io.hh"
 
 namespace lrs
 {
@@ -104,6 +105,46 @@ StoreSets::storageBits() const
     // SSIT: a set ID per entry; LFST: a sequence tag + valid per set.
     const std::size_t sid_bits = ceilLog2(lfst_.size()) + 1;
     return ssit_.size() * sid_bits + lfst_.size() * (8 + 1);
+}
+
+json::Value
+StoreSets::saveState() const
+{
+    json::Value lfst = json::Value::array();
+    for (const Lfst &l : lfst_) {
+        json::Value rec = json::Value::array();
+        rec.push(json::Value(l.seq));
+        rec.push(json::Value(static_cast<std::uint64_t>(l.valid)));
+        lfst.push(std::move(rec));
+    }
+    json::Value st = json::Value::object();
+    st.set("ssit", stateio::packInts(ssit_));
+    st.set("lfst", std::move(lfst));
+    st.set("next_set", json::Value(
+        static_cast<std::uint64_t>(nextSet_)));
+    st.set("events", json::Value(events_));
+    return st;
+}
+
+void
+StoreSets::loadState(const json::Value &state)
+{
+    stateio::unpackInts(state, "ssit", ssit_);
+    const json::Value &lfst = stateio::need(state, "lfst");
+    if (!lfst.isArray() || lfst.size() != lfst_.size()) {
+        stateio::fail("lfst", "LFST does not match the configured "
+                              "store-set count");
+    }
+    for (std::size_t i = 0; i < lfst_.size(); ++i) {
+        const json::Value &rec = lfst.at(i);
+        if (!rec.isArray() || rec.size() != 2)
+            stateio::fail("lfst", "entry has wrong arity");
+        lfst_[i].seq = rec.at(0).asU64();
+        lfst_[i].valid = rec.at(1).asU64() != 0;
+    }
+    nextSet_ = static_cast<std::uint32_t>(
+        stateio::needU64(state, "next_set"));
+    events_ = stateio::needU64(state, "events");
 }
 
 } // namespace lrs

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace lrs
@@ -76,6 +77,13 @@ class StoreSets
 
     /** Hardware budget in bits. */
     std::size_t storageBits() const;
+
+    /**
+     * Machine-snapshot support (core/snapshot.hh): both tables, the
+     * allocation cursor and the cyclic-clear event count, exactly.
+     */
+    json::Value saveState() const;
+    void loadState(const json::Value &state);
 
   private:
     std::size_t index(Addr pc) const;

@@ -40,6 +40,24 @@ class TraceStream
 
     /** Total number of uops in the trace. */
     virtual std::size_t size() const = 0;
+
+    /**
+     * Reposition the cursor so the next() call returns uop @p n (or
+     * end-of-trace when @p n >= size()). Snapshot restore
+     * (core/snapshot.hh) uses this to fast-forward a fresh stream to
+     * where the checkpointed machine had consumed it. The default
+     * replays the stream from the start; materialised traces override
+     * it with a direct cursor move.
+     */
+    virtual void
+    seek(std::size_t n)
+    {
+        reset();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!next())
+                break;
+        }
+    }
 };
 
 /**
@@ -64,6 +82,12 @@ class VecTrace : public TraceStream
     void reset() override { pos_ = 0; }
     const std::string &name() const override { return name_; }
     std::size_t size() const override { return uops_.size(); }
+
+    void
+    seek(std::size_t n) override
+    {
+        pos_ = n < uops_.size() ? n : uops_.size();
+    }
 
     /** Direct access for analyses that want random access. */
     const std::vector<Uop> &uops() const { return uops_; }

@@ -8,7 +8,9 @@
 
 #include <sstream>
 
+#include "common/parse.hh"
 #include "core/config_io.hh"
+#include "core/grid.hh"
 
 namespace lrs
 {
@@ -132,6 +134,66 @@ TEST(ConfigIo, MissingFileThrows)
 {
     EXPECT_THROW(machineConfigFromFile("/nonexistent/cfg.ini"),
                  std::invalid_argument);
+}
+
+TEST(Parse, TryParseU64IsStrictCanonicalBase10)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(tryParseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(tryParseU64("18446744073709551615", v)); // 2^64-1
+    EXPECT_EQ(v, ~std::uint64_t{0});
+
+    // The std::stoull booby traps this helper exists to disarm:
+    // "-1" must NOT wrap to 2^64-1, "+1"/whitespace/hex must NOT
+    // parse, and overflow must NOT clamp to ULLONG_MAX.
+    v = 42;
+    EXPECT_FALSE(tryParseU64("-1", v));
+    EXPECT_FALSE(tryParseU64("+1", v));
+    EXPECT_FALSE(tryParseU64(" 1", v));
+    EXPECT_FALSE(tryParseU64("1 ", v));
+    EXPECT_FALSE(tryParseU64("1 2", v));
+    EXPECT_FALSE(tryParseU64("0x10", v));
+    EXPECT_FALSE(tryParseU64("", v));
+    EXPECT_FALSE(tryParseU64("18446744073709551616", v)); // 2^64
+    EXPECT_FALSE(tryParseU64("99999999999999999999", v));
+    EXPECT_EQ(v, 42u); // rejected parses leave the output untouched
+}
+
+TEST(ConfigIo, IniRejectsSignedWrapAndNonCanonicalIntegers)
+{
+    // `max_cycles = -1` once parsed as 2^64-1 via std::stoull —
+    // "effectively unbounded" instead of a loud ConfigInvalid.
+    for (const char *value :
+         {"-1", "+1", "0x10", "1 2", "18446744073709551616"}) {
+        std::stringstream ss;
+        ss << "max_cycles = " << value << "\n";
+        EXPECT_THROW(machineConfigFromIni(ss), ConfigError)
+            << "value: " << value;
+    }
+    // Surrounding whitespace is the ini parser's to trim; the value
+    // itself must then be canonical digits.
+    std::stringstream ok;
+    ok << "max_cycles =   123  \n";
+    EXPECT_EQ(machineConfigFromIni(ok).maxCycles, 123u);
+}
+
+TEST(ConfigIo, GridRejectsSignedWrapIntegers)
+{
+    for (const char *line :
+         {"len = -1", "jobs = +4", "len = 0x10",
+          "warmup_snapshot = -5",
+          "len = 18446744073709551616"}) {
+        std::stringstream ss;
+        ss << "traces = wd\n" << line << "\n";
+        EXPECT_THROW(parseBatchGrid(ss, "test"), ConfigError)
+            << "line: " << line;
+    }
+    std::stringstream ok;
+    ok << "traces = wd\nlen = 5000\nwarmup_snapshot = 1000\n";
+    const BatchGrid grid = parseBatchGrid(ok, "test");
+    EXPECT_EQ(grid.len, 5000u);
+    EXPECT_EQ(grid.warmupSnapshot, 1000u);
 }
 
 } // namespace

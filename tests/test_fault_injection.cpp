@@ -211,5 +211,31 @@ TEST(FaultInjector, CorruptRandomBitKeepsChtUsable)
     SUCCEED();
 }
 
+TEST(FaultInjector, EnvOverridesRejectSignedWrap)
+{
+    // LRS_FAULT_SEED=-1 once wrapped to 2^64-1 through strtoull; a
+    // bad override must keep the default (with a stderr warning), not
+    // silently inject under a nonsense seed.
+    const FaultConfig defaults;
+    ::setenv("LRS_FAULT_SEED", "-1", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().seed, defaults.seed);
+    ::setenv("LRS_FAULT_SEED", "+7", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().seed, defaults.seed);
+    ::setenv("LRS_FAULT_SEED", " 7", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().seed, defaults.seed);
+    ::setenv("LRS_FAULT_SEED", "0xbeef", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().seed, defaults.seed);
+    ::setenv("LRS_FAULT_SEED", "18446744073709551616", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().seed, defaults.seed);
+    ::setenv("LRS_FAULT_SEED", "1234", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().seed, 1234u);
+    ::unsetenv("LRS_FAULT_SEED");
+
+    ::setenv("LRS_FAULT_LAT_MAX", "-3", 1);
+    EXPECT_EQ(FaultConfig::fromEnv().maxLatencyDelta,
+              defaults.maxLatencyDelta);
+    ::unsetenv("LRS_FAULT_LAT_MAX");
+}
+
 } // namespace
 } // namespace lrs

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Tests of checkpointed machine snapshots (core/snapshot.hh): the
+ * bit-identity contract (a restored run finishes with statistics
+ * byte-identical to the uninterrupted run, doubles included), strict
+ * rejection of every damaged-file shape (the same every-byte
+ * truncation sweep the journal recovery tests run, but expecting
+ * rejection instead of resync), format/trace/geometry mismatch
+ * rejection, and the warm-once grid protocol's determinism across
+ * worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "common/diag.hh"
+#include "common/fault_injector.hh"
+#include "common/journal.hh"
+#include "core/config_io.hh"
+#include "core/core.hh"
+#include "core/grid.hh"
+#include "core/parallel.hh"
+#include "core/runner.hh"
+#include "core/snapshot.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "lrs_snapshot_" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+}
+
+/** The statistics fingerprint identity is compared on: the lossless
+ *  state serialization, which packs every double as its IEEE-754 bit
+ *  pattern — stricter than any formatted report. */
+std::string
+fingerprint(const SimResult &r)
+{
+    return r.saveState().dump(0);
+}
+
+/** A feature-heavy config that exercises every optional component the
+ *  snapshot serializes: CHT with distance, histograms, intervals,
+ *  store-set/banked machinery off to keep it fast but variable. */
+MachineConfig
+richConfig()
+{
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Exclusive;
+    cfg.cht.trackDistance = true;
+    cfg.exclusiveSpecForward = true;
+    cfg.stridePrefetch = true;
+    cfg.hmp = HmpKind::Chooser;
+    cfg.bankMode = BankMode::Conventional;
+    cfg.bankPred = BankPredKind::A;
+    cfg.statsInterval = 500;
+    cfg.collectHistograms = true;
+    return cfg;
+}
+
+SimResult
+runFull(const MachineConfig &cfg, const std::string &trace_name,
+        std::uint64_t len, FaultInjector *fi = nullptr)
+{
+    auto trace = TraceLibrary::make(TraceLibrary::byName(trace_name, len));
+    OooCore core(cfg);
+    core.attachFaultInjector(fi);
+    return core.run(*trace);
+}
+
+/** Warm to @p stop, checkpoint, restore into a FRESH core, finish. */
+SimResult
+runThroughSnapshot(const MachineConfig &cfg,
+                   const std::string &trace_name, std::uint64_t len,
+                   Cycle stop, const std::string &path,
+                   FaultInjector *warm_fi = nullptr,
+                   FaultInjector *resume_fi = nullptr)
+{
+    {
+        auto trace =
+            TraceLibrary::make(TraceLibrary::byName(trace_name, len));
+        OooCore warm(cfg);
+        warm.attachFaultInjector(warm_fi);
+        warm.beginRun(*trace);
+        warm.advanceTo(*trace, stop);
+        writeSnapshot(path, warm, *trace, stop);
+    }
+    auto trace =
+        TraceLibrary::make(TraceLibrary::byName(trace_name, len));
+    OooCore core(cfg);
+    core.attachFaultInjector(resume_fi);
+    loadSnapshotInto(path, core, *trace);
+    core.advanceTo(*trace);
+    return core.finishRun();
+}
+
+TEST(Snapshot, RestoredRunIsBitIdenticalAcrossSchemes)
+{
+    // The tentpole contract, per scheme: full run vs
+    // warm-save-restore-continue must agree on every counter, every
+    // interval sample and every histogram bucket, bit for bit.
+    for (const auto scheme :
+         {OrderingScheme::Traditional, OrderingScheme::Opportunistic,
+          OrderingScheme::Exclusive, OrderingScheme::StoreSets,
+          OrderingScheme::StoreBarrier}) {
+        MachineConfig cfg;
+        cfg.scheme = scheme;
+        cfg.cht.trackDistance = true;
+        const SimResult full = runFull(cfg, "wd", 20000);
+        const std::string path = tmpPath("scheme.snap");
+        const SimResult resumed = runThroughSnapshot(
+            cfg, "wd", 20000, full.cycles / 2, path);
+        EXPECT_EQ(fingerprint(full), fingerprint(resumed))
+            << orderingSchemeName(scheme);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Snapshot, RestoredRunIsBitIdenticalWithEverythingOn)
+{
+    // Histograms, interval samples, bank predictor, prefetcher,
+    // chooser HMP — the checkpoint must carry all of it.
+    const MachineConfig cfg = richConfig();
+    const SimResult full = runFull(cfg, "gcc", 20000);
+    const std::string path = tmpPath("rich.snap");
+    for (const Cycle stop : {Cycle{1}, full.cycles / 3,
+                             full.cycles - 1, full.cycles + 1000}) {
+        const SimResult resumed =
+            runThroughSnapshot(cfg, "gcc", 20000, stop, path);
+        EXPECT_EQ(fingerprint(full), fingerprint(resumed))
+            << "stop=" << stop;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, CheckpointAtCycleZeroAndPastDrain)
+{
+    MachineConfig cfg;
+    cfg.statsInterval = 300;
+    const SimResult full = runFull(cfg, "swim", 15000);
+    const std::string path = tmpPath("edges.snap");
+    // Stop at 0: the snapshot holds a freshly-begun machine.
+    SimResult resumed =
+        runThroughSnapshot(cfg, "swim", 15000, 0, path);
+    EXPECT_EQ(fingerprint(full), fingerprint(resumed));
+    // Stop past drain: advanceTo() completed the whole run before the
+    // checkpoint; the restored core's advanceTo() is a no-op and
+    // finishRun() emits the same statistics.
+    resumed = runThroughSnapshot(cfg, "swim", 15000, kCycleNever, path);
+    EXPECT_EQ(fingerprint(full), fingerprint(resumed));
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, FaultInjectorRngStreamRoundTrips)
+{
+    // A fault-injected run is deterministic under its seed; the
+    // injector's xorshift state and counters must survive the
+    // checkpoint or the resumed half would draw a different stream.
+    FaultConfig fc;
+    fc.bitRate = 0.01;
+    fc.latRate = 0.01;
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Exclusive;
+    cfg.cht.trackDistance = true;
+
+    FaultInjector full_fi(fc);
+    const SimResult full = runFull(cfg, "wd", 20000, &full_fi);
+
+    FaultInjector warm_fi(fc), resume_fi(fc);
+    const std::string path = tmpPath("faults.snap");
+    const SimResult resumed = runThroughSnapshot(
+        cfg, "wd", 20000, full.cycles / 2, path, &warm_fi, &resume_fi);
+    EXPECT_EQ(fingerprint(full), fingerprint(resumed));
+    EXPECT_EQ(full_fi.saveState().dump(0), resume_fi.saveState().dump(0));
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, HeaderRecordsRunIdentity)
+{
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore core(cfg);
+    core.beginRun(*trace);
+    core.advanceTo(*trace, 2000);
+    const std::string path = tmpPath("header.snap");
+    writeSnapshot(path, core, *trace, 2000);
+
+    const SnapshotImage img = readSnapshot(path);
+    EXPECT_EQ(img.version, kSnapshotFormatVersion);
+    EXPECT_EQ(img.cycle, Cycle{2000});
+    EXPECT_EQ(img.target, Cycle{2000});
+    EXPECT_EQ(img.traceName, "wd");
+    EXPECT_EQ(img.traceSize, trace->size());
+    EXPECT_EQ(img.configIni, machineConfigToIni(cfg));
+    EXPECT_TRUE(img.state.find("core"));
+    EXPECT_TRUE(img.state.find("rob"));
+    EXPECT_TRUE(img.state.find("result"));
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, EveryByteTruncationIsRejectedNeverMisread)
+{
+    // Unlike the journal's resync-and-continue, a snapshot must treat
+    // ANY truncation as fatal: restoring from a prefix would build a
+    // subtly different machine. Only the complete byte string loads.
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 8000));
+    OooCore core(cfg);
+    core.beginRun(*trace);
+    core.advanceTo(*trace, 500);
+    const std::string path = tmpPath("trunc.snap");
+    writeSnapshot(path, core, *trace, 500);
+    const std::string bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 100u);
+
+    const std::string cut = tmpPath("trunc_cut.snap");
+    // Every-byte sweeps on a multi-kilobyte file are slow; cover every
+    // byte of the first and last lines (framing, header, end marker)
+    // and stride through the interior.
+    const std::size_t firstNl = bytes.find('\n');
+    ASSERT_NE(firstNl, std::string::npos);
+    std::vector<std::size_t> lens;
+    for (std::size_t len = 0; len <= firstNl + 1; ++len)
+        lens.push_back(len);
+    for (std::size_t len = firstNl + 2; len + 120 < bytes.size();
+         len += 97)
+        lens.push_back(len);
+    for (std::size_t len = bytes.size() - 120; len < bytes.size(); ++len)
+        lens.push_back(len);
+    for (const std::size_t len : lens) {
+        spit(cut, bytes.substr(0, len));
+        EXPECT_THROW(readSnapshot(cut), ConfigError) << "len=" << len;
+    }
+    spit(cut, bytes);
+    EXPECT_NO_THROW(readSnapshot(cut));
+    std::remove(cut.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptBytesAnywhereAreRejected)
+{
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 8000));
+    OooCore core(cfg);
+    core.beginRun(*trace);
+    core.advanceTo(*trace, 500);
+    const std::string path = tmpPath("corrupt.snap");
+    writeSnapshot(path, core, *trace, 500);
+    const std::string bytes = slurp(path);
+
+    // Flip a bit in the framing tag, the CRC hex, the header JSON, a
+    // mid-file section and the end marker.
+    const std::vector<std::size_t> offsets = {
+        0, 7, 20, bytes.size() / 2, bytes.size() - 5};
+    for (const std::size_t off : offsets) {
+        std::string damaged = bytes;
+        damaged[off] ^= 0x1;
+        spit(path, damaged);
+        EXPECT_THROW(readSnapshot(path), ConfigError) << "off=" << off;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, UnsupportedVersionAndForeignFilesAreRejected)
+{
+    const std::string path = tmpPath("version.snap");
+    // A future format version.
+    json::Value header = json::Value::object();
+    header.set("kind", json::Value("lrs-snapshot"));
+    header.set("version", json::Value(std::uint64_t{999}));
+    header.set("cycle", json::Value(std::uint64_t{0}));
+    header.set("target", json::Value(std::uint64_t{0}));
+    header.set("trace", json::Value("wd"));
+    header.set("trace_size", json::Value(std::uint64_t{1}));
+    header.set("config", json::Value(""));
+    header.set("sections", json::Value(std::uint64_t{0}));
+    json::Value end = json::Value::object();
+    end.set("kind", json::Value("lrs-snapshot-end"));
+    end.set("sections", json::Value(std::uint64_t{0}));
+    spit(path, journalLine(header) + journalLine(end));
+    EXPECT_THROW(readSnapshot(path), ConfigError);
+
+    // A perfectly valid *journal* is not a snapshot.
+    json::Value rec = json::Value::object();
+    rec.set("cell", json::Value(std::uint64_t{0}));
+    rec.set("status", json::Value("OK"));
+    spit(path, journalLine(rec) + journalLine(rec));
+    EXPECT_THROW(readSnapshot(path), ConfigError);
+
+    std::remove(path.c_str());
+    EXPECT_THROW(readSnapshot(path), IoError); // absent file
+}
+
+TEST(Snapshot, TraceAndGeometryMismatchesAreRejected)
+{
+    MachineConfig cfg;
+    auto trace = TraceLibrary::make(TraceLibrary::byName("wd", 8000));
+    OooCore core(cfg);
+    core.beginRun(*trace);
+    core.advanceTo(*trace, 500);
+    const std::string path = tmpPath("mismatch.snap");
+    writeSnapshot(path, core, *trace, 500);
+
+    // Wrong trace entirely.
+    {
+        auto other =
+            TraceLibrary::make(TraceLibrary::byName("gcc", 8000));
+        OooCore fresh(cfg);
+        EXPECT_THROW(loadSnapshotInto(path, fresh, *other),
+                     ConfigError);
+    }
+    // Right name, wrong length (a different sampling run).
+    {
+        auto other =
+            TraceLibrary::make(TraceLibrary::byName("wd", 4000));
+        OooCore fresh(cfg);
+        EXPECT_THROW(loadSnapshotInto(path, fresh, *other),
+                     ConfigError);
+    }
+    // Structurally incompatible machine: smaller ROB.
+    {
+        MachineConfig small = cfg;
+        small.robSize = 64;
+        auto same = TraceLibrary::make(TraceLibrary::byName("wd", 8000));
+        OooCore fresh(small);
+        EXPECT_THROW(loadSnapshotInto(path, fresh, *same), ConfigError);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, CrossSchemeWarmForkIsDeterministic)
+{
+    // The warm-once grid protocol: one base-config warmup per trace,
+    // every scheme forked from it. The forked sweep must be
+    // bit-identical for any worker count, and re-preparing must reuse
+    // the checkpoints (same file bytes) rather than re-warm.
+    std::istringstream grid_is("traces = wd gcc\n"
+                               "schemes = traditional, exclusive, "
+                               "storesets\n"
+                               "len = 15000\n"
+                               "warmup_snapshot = 2000\n"
+                               "cht_track_distance = 1\n");
+    BatchGrid grid = parseBatchGrid(grid_is, "test");
+    const std::string dir = tmpPath("warmdir");
+
+    prepareWarmupSnapshots(grid, dir, 2);
+    const std::string before =
+        slurp(warmupSnapshotPath(dir, "wd"));
+    ASSERT_FALSE(before.empty());
+    prepareWarmupSnapshots(grid, dir, 1); // second call: pure reuse
+    EXPECT_EQ(slurp(warmupSnapshotPath(dir, "wd")), before);
+
+    std::vector<SimJob> jobs;
+    std::vector<std::string> keys;
+    buildGridJobs(grid, jobs, keys);
+    attachWarmupSnapshots(grid, dir, jobs);
+    for (const auto &job : jobs)
+        EXPECT_FALSE(job.fromSnapshot.empty());
+
+    std::vector<std::string> serial;
+    for (const auto &job : jobs) {
+        const JobOutcome o = runOneSimJob(job);
+        ASSERT_FALSE(o.failed) << o.error;
+        serial.push_back(fingerprint(o.result));
+    }
+    SimJobPool pool(4);
+    const auto outcomes = pool.runJobs(jobs);
+    ASSERT_EQ(outcomes.size(), serial.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        ASSERT_FALSE(outcomes[i].failed) << outcomes[i].error;
+        EXPECT_EQ(fingerprint(outcomes[i].result), serial[i])
+            << keys[i];
+    }
+
+    // The base-scheme cell is bit-identical to warm+finish by hand —
+    // the fork really does resume, not re-run.
+    {
+        auto trace =
+            TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+        MachineConfig base = grid.base;
+        base.scheme = grid.schemes[0];
+        OooCore core(base);
+        loadSnapshotInto(warmupSnapshotPath(dir, "wd"), core, *trace);
+        core.advanceTo(*trace);
+        EXPECT_EQ(fingerprint(core.finishRun()), serial[0]);
+    }
+
+    for (const char *name : {"wd", "gcc"})
+        std::remove(warmupSnapshotPath(dir, name).c_str());
+    ::rmdir(dir.c_str());
+}
+
+TEST(Snapshot, StaleCheckpointsAreRegenerated)
+{
+    std::istringstream a_is("traces = wd\nlen = 12000\n"
+                            "warmup_snapshot = 1000\n");
+    BatchGrid a = parseBatchGrid(a_is, "test");
+    const std::string dir = tmpPath("staledir");
+    prepareWarmupSnapshots(a, dir, 1);
+    const std::string path = warmupSnapshotPath(dir, "wd");
+    EXPECT_EQ(readSnapshot(path).target, Cycle{1000});
+
+    // Different warmup target → regenerate.
+    std::istringstream b_is("traces = wd\nlen = 12000\n"
+                            "warmup_snapshot = 2000\n");
+    BatchGrid b = parseBatchGrid(b_is, "test");
+    prepareWarmupSnapshots(b, dir, 1);
+    EXPECT_EQ(readSnapshot(path).target, Cycle{2000});
+
+    // Different base config → regenerate.
+    std::istringstream c_is("traces = wd\nlen = 12000\n"
+                            "warmup_snapshot = 2000\n"
+                            "sched_window = 48\n");
+    BatchGrid c = parseBatchGrid(c_is, "test");
+    prepareWarmupSnapshots(c, dir, 1);
+    EXPECT_EQ(readSnapshot(path).configIni, machineConfigToIni(c.base));
+
+    // A torn file on disk → silently rewritten.
+    const std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, bytes.size() / 2));
+    prepareWarmupSnapshots(c, dir, 1);
+    EXPECT_NO_THROW(readSnapshot(path));
+
+    std::remove(path.c_str());
+    ::rmdir(dir.c_str());
+}
+
+TEST(Snapshot, DirForAndPathHelpers)
+{
+    BatchGrid grid;
+    EXPECT_EQ(snapshotDirFor(grid, "/tmp/fig07.ini"),
+              "/tmp/fig07.ini.snapshots");
+    grid.snapshotDir = "/var/snaps";
+    EXPECT_EQ(snapshotDirFor(grid, "/tmp/fig07.ini"), "/var/snaps");
+    EXPECT_EQ(warmupSnapshotPath("/var/snaps", "wd"),
+              "/var/snaps/wd.warmup.snap");
+}
+
+} // namespace
+} // namespace lrs

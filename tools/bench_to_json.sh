@@ -25,6 +25,13 @@
 # The throughput block comes from one lrs_sim --profile run, so the
 # trajectory records how fast the simulator itself was at each PR —
 # the regression baseline for host-time optimisation work.
+#
+# The warmup_amortization block times the same sweep grid three ways —
+# no checkpoints, warmup_snapshot checkpointing cold, and again
+# reusing the checkpoints (docs/ROBUSTNESS.md, "Snapshots") — so the
+# trajectory records how much host time the warm-fork protocol saves:
+# warmup is paid once per trace instead of once per cell, and zero
+# times on reuse.
 
 set -eu
 
@@ -78,6 +85,48 @@ else
     echo "skip: throughput baseline (no lrs_sim at $SIM)" >&2
 fi
 
+# Wall-clock in milliseconds; falls back to whole seconds when date
+# lacks GNU %N (the block still shows the ordering, just coarser).
+now_ms() {
+    t=$(date +%s%N)
+    case $t in
+        *N*) echo "$(($(date +%s) * 1000))" ;;
+        *)   echo "$((t / 1000000))" ;;
+    esac
+}
+
+# Warmup-amortization timing: one 10-cell grid (2 traces x 5 schemes),
+# serial so the comparison is pure host work. The cold snapshot run
+# warms each trace once and forks the 5 variants from the checkpoint;
+# the reuse run finds the checkpoints already on disk and pays no
+# warmup at all.
+FULL_MS=0
+SNAP_COLD_MS=0
+SNAP_REUSE_MS=0
+# ~60% of the run in cycles (uops retire at IPC > 1), deep enough
+# that the per-cell restore cost is clearly beaten at bench scale.
+WARM_CYCLES=$((LRS_TRACE_LEN * 2 / 5))
+if [ -x "$SIM" ]; then
+    echo "running warmup-amortization timing..." >&2
+    grid="$TMPDIR_JSON/warm.ini"
+    printf 'traces  = wd, gcc\n' > "$grid"
+    printf 'schemes = traditional, opportunistic, exclusive, storesets, perfect\n' >> "$grid"
+    printf 'len     = %s\n' "$LRS_TRACE_LEN" >> "$grid"
+    t0=$(now_ms)
+    "$SIM" --batch "$grid" --jobs 1 > /dev/null 2>&1
+    t1=$(now_ms)
+    printf 'warmup_snapshot = %s\n' "$WARM_CYCLES" >> "$grid"
+    "$SIM" --batch "$grid" --jobs 1 > /dev/null 2>&1
+    t2=$(now_ms)
+    "$SIM" --batch "$grid" --jobs 1 > /dev/null 2>&1
+    t3=$(now_ms)
+    FULL_MS=$((t1 - t0))
+    SNAP_COLD_MS=$((t2 - t1))
+    SNAP_REUSE_MS=$((t3 - t2))
+else
+    echo "skip: warmup-amortization timing (no lrs_sim at $SIM)" >&2
+fi
+
 {
     printf '{\n'
     printf '  "generated_by": "tools/bench_to_json.sh",\n'
@@ -86,6 +135,14 @@ fi
     printf '    "trace": "wd",\n'
     printf '    "len": %s,\n' "$LRS_TRACE_LEN"
     printf '    "uops_per_sec": %s\n' "$UOPS_PER_SEC"
+    printf '  },\n'
+    printf '  "warmup_amortization": {\n'
+    printf '    "traces": 2,\n'
+    printf '    "schemes": 5,\n'
+    printf '    "warmup_cycles": %s,\n' "$WARM_CYCLES"
+    printf '    "full_sweep_ms": %s,\n' "$FULL_MS"
+    printf '    "snapshot_sweep_cold_ms": %s,\n' "$SNAP_COLD_MS"
+    printf '    "snapshot_sweep_reuse_ms": %s\n' "$SNAP_REUSE_MS"
     printf '  },\n'
     printf '  "benches": [\n'
     first=1

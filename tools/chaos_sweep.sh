@@ -7,6 +7,14 @@
 # --isolate and checks the sweep contains it (CRASHED row, siblings
 # complete) and that a resume converges to the same clean reference.
 #
+# Snapshot legs (docs/ROBUSTNESS.md, "Snapshots", fork-free): a
+# warmup_snapshot grid must produce byte-identical reports for 1/2/8
+# workers while reusing the first run's checkpoints untouched; a
+# SIGKILL during the warmup-checkpointing phase must leave every
+# *.snap file valid-or-absent (atomic tmp+fsync+rename) and a resume
+# must converge to the clean reference, regenerating what the crash
+# destroyed.
+#
 # Daemon legs (docs/SERVICE.md, fork-free — they run under TSan too):
 # submit the same grid to lrs_simd over a Unix socket, SIGTERM-drain
 # it (smoke), then for 1/2/8 workers SIGKILL the daemon mid-sweep,
@@ -135,6 +143,79 @@ if [ "$isolate" = 1 ]; then
     cmp -s "$work/ref.json" "$work/resc.json" \
         || fail "post-crash resumed JSON differs from clean run"
 fi
+
+# ---------------------------------------------------------------------
+# Snapshot legs. Fork-free, so they run in both sanitizer passes.
+# ---------------------------------------------------------------------
+
+echo "chaos_sweep: warmup-snapshot sweep byte-identity (jobs=1/2/8)"
+cat > "$work/snap.ini" <<EOF
+traces          = wd, gcc
+schemes         = traditional, exclusive, storesets
+len             = 150000
+warmup_snapshot = 60000
+EOF
+snapdir="$work/snap.ini.snapshots"
+"$sim" --batch "$work/snap.ini" --jobs 1 --json "$work/sref.json" \
+    > "$work/sref.txt" 2> "$work/sref.err"
+grep -q "checkpointed at cycle 60000" "$work/sref.err" \
+    || fail "warmup phase did not report its checkpoints"
+# Fingerprint the checkpoints: later runs must reuse these bytes, not
+# rewarm and rewrite them.
+cksum "$snapdir"/*.warmup.snap > "$work/snap.cksum"
+for jobs in 2 8; do
+    "$sim" --batch "$work/snap.ini" --jobs "$jobs" \
+        --json "$work/s$jobs.json" \
+        > "$work/s$jobs.txt" 2> "$work/s$jobs.err"
+    cmp -s "$work/sref.txt" "$work/s$jobs.txt" \
+        || fail "snapshot sweep table differs from jobs=1 (jobs=$jobs)"
+    cmp -s "$work/sref.json" "$work/s$jobs.json" \
+        || fail "snapshot sweep JSON differs from jobs=1 (jobs=$jobs)"
+    cksum "$snapdir"/*.warmup.snap > "$work/snap.cksum.$jobs"
+    cmp -s "$work/snap.cksum" "$work/snap.cksum.$jobs" \
+        || fail "checkpoints were rewritten instead of reused (jobs=$jobs)"
+done
+"$sim" --batch "$work/snap.ini" --jobs 2 --validate-snapshot \
+    > /dev/null 2> /dev/null \
+    || fail "--validate-snapshot failed on the snapshot grid"
+
+echo "chaos_sweep: SIGKILL during warmup checkpointing, then resume"
+rm -rf "$snapdir"
+j="$work/jsnap.jsonl"
+rm -f "$j"
+"$sim" --batch "$work/snap.ini" --jobs 2 --journal "$j" \
+    > /dev/null 2>/dev/null &
+pid=$!
+# Kill -9 the instant the warmup phase starts materialising files —
+# with luck mid-write, leaving a torn *.tmp behind. If the sweep
+# outruns us the assertions below still hold on complete state.
+tries=0
+while [ -z "$(ls -A "$snapdir" 2>/dev/null)" ]; do
+    kill -0 "$pid" 2>/dev/null || break
+    tries=$((tries + 1))
+    [ "$tries" -gt 3000 ] && break
+    sleep 0.01
+done
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+# Atomic-write contract: every *.snap that exists must be a CRC-valid,
+# fully loadable snapshot; a torn write may only survive as *.tmp.
+for f in "$snapdir"/*.warmup.snap; do
+    [ -e "$f" ] || continue
+    "$sim" --check-journal "$f" > /dev/null \
+        || fail "post-SIGKILL snapshot $f is invalid (torn write?)"
+done
+# Resume converges to the clean reference byte-for-byte, regenerating
+# whatever checkpoints the crash destroyed and reusing survivors. (A
+# kill during warmup predates the sweep journal; an empty journal
+# resume is simply a full run.)
+[ -f "$j" ] || : > "$j"
+"$sim" --batch "$work/snap.ini" --jobs 2 --resume "$j" \
+    --json "$work/sres.json" > "$work/sres.txt" 2> "$work/sres.err"
+cmp -s "$work/sref.txt" "$work/sres.txt" \
+    || fail "post-crash snapshot resume table differs from clean run"
+cmp -s "$work/sref.json" "$work/sres.json" \
+    || fail "post-crash snapshot resume JSON differs from clean run"
 
 # ---------------------------------------------------------------------
 # Daemon legs. Fork-free by construction (no --isolate), so they run

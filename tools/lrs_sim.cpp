@@ -41,12 +41,15 @@
 #include "common/profiler.hh"
 #include "common/stats.hh"
 #include "core/config_io.hh"
+#include "core/core.hh"
 #include "core/flight_recorder.hh"
 #include "core/grid.hh"
 #include "core/parallel.hh"
 #include "core/runner.hh"
+#include "core/snapshot.hh"
 #include "core/supervisor.hh"
 #include "core/tracer.hh"
+#include "trace/library.hh"
 #include "service/protocol.hh"
 #include "trace/serialize.hh"
 
@@ -150,9 +153,37 @@ usage(FILE *out, int code, const char *argv0)
         "finished --batch\n"
         "                        cell to FD (default 2, stderr)\n"
         "  --check-journal PATH  validate a CRC-framed JSONL file "
-        "(checkpoint journal\n"
-        "                        or flight dump); exit nonzero on "
-        "damaged lines\n"
+        "(checkpoint journal,\n"
+        "                        flight dump, or machine snapshot — "
+        "snapshots get the\n"
+        "                        full strict structural check); exit "
+        "nonzero on damage\n"
+        "machine snapshots (docs/ROBUSTNESS.md, \"Snapshots\"):\n"
+        "  --snapshot FILE       checkpoint the machine state to FILE "
+        "during a single\n"
+        "                        run (atomic tmp+rename; requires "
+        "--snapshot-after)\n"
+        "  --snapshot-after N    cycle to checkpoint at (the run then "
+        "continues to\n"
+        "                        completion as usual)\n"
+        "  --from-snapshot FILE  restore FILE instead of starting "
+        "cold and simulate\n"
+        "                        the remainder; stats are "
+        "bit-identical to the\n"
+        "                        uninterrupted run under the same "
+        "config\n"
+        "  --validate-snapshot   prove that contract: run everything "
+        "twice (full, and\n"
+        "                        through a save/restore at "
+        "--snapshot-after, default\n"
+        "                        half the run; for --batch: "
+        "warmup_snapshot or half,\n"
+        "                        per cell) and fail on any "
+        "non-identical statistic\n"
+        "                        (grid key warmup_snapshot=N warms "
+        "each trace once and\n"
+        "                        forks every scheme cell from the "
+        "checkpoint)\n"
         "robustness (docs/ROBUSTNESS.md):\n"
         "  --audit               audit ROB/window/MOB invariants "
         "(LRS_AUDIT=1)\n"
@@ -339,7 +370,7 @@ int
 runBatch(const std::string &path, unsigned jobs_flag,
          const std::string &json_path, SweepOptions sopts,
          std::uint64_t max_cycles, bool histograms, bool profile,
-         const std::string &flight_dir)
+         const std::string &flight_dir, bool validate_snapshot)
 {
     BatchGrid grid = parseBatchGridFile(path);
     if (max_cycles)
@@ -353,6 +384,41 @@ runBatch(const std::string &path, unsigned jobs_flag,
     buildGridJobs(grid, jobs, keys);
 
     sopts.workers = jobs_flag ? jobs_flag : grid.jobs;
+
+    // Warm-once sampling: checkpoint each trace once under the base
+    // config, then fork every scheme cell from the checkpoint. In
+    // --validate-snapshot mode cells instead run cold AND through a
+    // same-config save/restore (below), so the fork is skipped — the
+    // validation target is the bit-identity contract, and cross-scheme
+    // forks are a deliberate protocol change, not bit-equivalence.
+    std::string snap_dir;
+    if (grid.warmupSnapshot || validate_snapshot)
+        snap_dir = snapshotDirFor(grid, path);
+    if (grid.warmupSnapshot && !validate_snapshot) {
+        const auto warm0 = std::chrono::steady_clock::now();
+        prepareWarmupSnapshots(grid, snap_dir, sopts.workers);
+        attachWarmupSnapshots(grid, snap_dir, jobs);
+        const double warm_wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - warm0)
+                .count();
+        std::fprintf(
+            stderr,
+            "warmup: %zu trace(s) checkpointed at cycle %llu in "
+            "%.2fs (%s); %zu cell(s) fork from the checkpoints\n",
+            grid.traces.size(),
+            static_cast<unsigned long long>(grid.warmupSnapshot),
+            warm_wall, snap_dir.c_str(), jobs.size());
+    } else if (validate_snapshot) {
+        std::error_code ec;
+        std::filesystem::create_directories(snap_dir, ec);
+        if (ec) {
+            throw IoError(makeDiag(DiagCode::IoOpenFailed, "lrs_sim",
+                                   "validate-snapshot",
+                                   "cannot create " + snap_dir + ": " +
+                                       ec.message()));
+        }
+    }
 
     // Chaos hook for tools/chaos_sweep.sh and the isolation tests:
     // LRS_CHAOS_CRASH_CELL names a cell that raises
@@ -396,6 +462,46 @@ runBatch(const std::string &path, unsigned jobs_flag,
             if (cell == chaos_cell)
                 ::raise(chaos_sig);
             JobOutcome o = runOneSimJob(jobs[cell], fr.get());
+            if (validate_snapshot && o.status == CellStatus::Ok) {
+                // Same-config save/restore must reproduce the full
+                // run's statistics bit for bit (every counter,
+                // interval sample and histogram bucket — doubles
+                // compared as IEEE-754 bit patterns).
+                try {
+                    const Cycle stop = grid.warmupSnapshot
+                                           ? grid.warmupSnapshot
+                                           : o.result.cycles / 2;
+                    const std::string spath =
+                        snap_dir + "/validate_cell_" +
+                        std::to_string(cell) + ".snap";
+                    {
+                        auto trace = TraceLibrary::make(
+                            jobs[cell].trace);
+                        OooCore warm(jobs[cell].cfg);
+                        warm.beginRun(*trace);
+                        warm.advanceTo(*trace, stop);
+                        writeSnapshot(spath, warm, *trace, stop);
+                    }
+                    auto trace =
+                        TraceLibrary::make(jobs[cell].trace);
+                    OooCore resumed(jobs[cell].cfg);
+                    loadSnapshotInto(spath, resumed, *trace);
+                    resumed.advanceTo(*trace);
+                    const SimResult rr = resumed.finishRun();
+                    std::remove(spath.c_str());
+                    if (rr.saveState().dump(0) !=
+                        o.result.saveState().dump(0)) {
+                        o.status = CellStatus::Failed;
+                        o.failed = true;
+                        o.code = diagCodeName(DiagCode::DataInvalid);
+                        o.error = "snapshot round-trip diverged from "
+                                  "the full run at checkpoint cycle " +
+                                  std::to_string(stop);
+                    }
+                } catch (const std::exception &e) {
+                    classifyJobException(o, e);
+                }
+            }
             if (fr && o.status == CellStatus::Ok)
                 fr->removeDump();
             return o;
@@ -756,6 +862,11 @@ main(int argc, char **argv)
     bool profile = false;
     std::string flight_dir;
     std::string check_journal_path;
+    std::string snapshot_path;
+    std::string from_snapshot;
+    std::uint64_t snapshot_after = 0;
+    bool snapshot_after_set = false;
+    bool validate_snapshot = false;
     bool inject_trace_faults = false;
     TraceReadOptions read_opts;
     FaultConfig fault_cfg = FaultConfig::fromEnv();
@@ -842,6 +953,14 @@ main(int argc, char **argv)
                 sweep_opts.progressFd = std::stoi(a.substr(11));
             else if (a == "--check-journal")
                 check_journal_path = next();
+            else if (a == "--snapshot") snapshot_path = next();
+            else if (a == "--snapshot-after") {
+                snapshot_after = std::stoull(next());
+                snapshot_after_set = true;
+            }
+            else if (a == "--from-snapshot") from_snapshot = next();
+            else if (a == "--validate-snapshot")
+                validate_snapshot = true;
             else if (a == "--max-cycles")
                 cfg.maxCycles = std::stoull(next());
             else if (a == "--dump-trace") dump_path = next();
@@ -884,6 +1003,37 @@ main(int argc, char **argv)
             JournalReadStats jst;
             const std::vector<json::Value> recs =
                 readJournal(check_journal_path, &jst);
+            // A machine snapshot announces itself in its first
+            // record; those get the full strict structural check on
+            // top of line-level CRC validation.
+            if (!jst.badLines && !recs.empty() &&
+                recs.front().isObject()) {
+                const json::Value *kind = recs.front().find("kind");
+                if (kind && kind->isString() &&
+                    kind->asString() == "lrs-snapshot") {
+                    try {
+                        const SnapshotImage img =
+                            readSnapshot(check_journal_path);
+                        std::printf(
+                            "%s: valid snapshot (format v%llu, trace "
+                            "%s, cycle %llu, %zu section(s))\n",
+                            check_journal_path.c_str(),
+                            static_cast<unsigned long long>(
+                                img.version),
+                            img.traceName.c_str(),
+                            static_cast<unsigned long long>(
+                                img.cycle),
+                            img.state.members().size());
+                        return kExitOk;
+                    } catch (const ConfigError &e) {
+                        std::fprintf(stderr,
+                                     "%s: invalid snapshot:\n%s\n",
+                                     check_journal_path.c_str(),
+                                     e.what());
+                        return kExitRuntime;
+                    }
+                }
+            }
             std::printf("%s: %zu valid record(s)\n",
                         check_journal_path.c_str(), recs.size());
             if (jst.badLines) {
@@ -919,11 +1069,16 @@ main(int argc, char **argv)
         // runAllSchemes (used by --compare-schemes).
         if (jobs_flag)
             ::setenv("LRS_JOBS", std::to_string(jobs_flag).c_str(), 1);
+        if (!snapshot_path.empty() && !snapshot_after_set) {
+            std::fprintf(stderr,
+                         "--snapshot needs --snapshot-after N\n");
+            usage(stderr, kExitUsage, argv[0]);
+        }
         if (!batch_path.empty())
             return runBatch(batch_path, jobs_flag, json_path,
                             sweep_opts, cfg.maxCycles,
                             cfg.collectHistograms, profile,
-                            flight_dir);
+                            flight_dir, validate_snapshot);
 
         if (inject_trace_faults && fault_cfg.traceRate <= 0.0)
             fault_cfg.traceRate = 0.01;
@@ -1012,11 +1167,84 @@ main(int argc, char **argv)
             core.attachTracer(tracer.get());
         }
         const auto wall0 = std::chrono::steady_clock::now();
-        const SimResult r = core.run(*trace);
+        SimResult r;
+        if (!from_snapshot.empty()) {
+            // Resume a checkpointed run: restore, then simulate only
+            // the remainder. Statistics come out bit-identical to the
+            // uninterrupted run under the same config.
+            loadSnapshotInto(from_snapshot, core, *trace);
+            core.advanceTo(*trace);
+            r = core.finishRun();
+        } else if (!snapshot_path.empty()) {
+            core.beginRun(*trace);
+            core.advanceTo(*trace, snapshot_after);
+            writeSnapshot(snapshot_path, core, *trace,
+                          snapshot_after);
+            std::fprintf(stderr, "snapshot: %s at cycle %llu\n",
+                         snapshot_path.c_str(),
+                         static_cast<unsigned long long>(core.now()));
+            core.advanceTo(*trace);
+            r = core.finishRun();
+        } else {
+            r = core.run(*trace);
+        }
         const double wall = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() -
                                 wall0)
                                 .count();
+        if (validate_snapshot) {
+            // Re-run the simulation twice on the same trace — once
+            // uninterrupted, once through a save/restore at
+            // --snapshot-after (default: half the run) — each with a
+            // fresh fault injector under the same config, and compare
+            // the lossless state serializations byte for byte
+            // (doubles as IEEE-754 bit patterns).
+            const Cycle stop =
+                snapshot_after_set ? snapshot_after : r.cycles / 2;
+            const std::string spath =
+                snapshot_path.empty()
+                    ? std::filesystem::temp_directory_path()
+                              .string() +
+                          "/lrs_validate_" +
+                          std::to_string(::getpid()) + ".snap"
+                    : snapshot_path;
+            const auto rerun = [&](bool through_snapshot) {
+                OooCore c(cfg);
+                FaultInjector fi(fault_cfg);
+                if (fi.enabled())
+                    c.attachFaultInjector(&fi);
+                if (!through_snapshot)
+                    return c.run(*trace);
+                {
+                    OooCore warm(cfg);
+                    FaultInjector warm_fi(fault_cfg);
+                    if (warm_fi.enabled())
+                        warm.attachFaultInjector(&warm_fi);
+                    warm.beginRun(*trace);
+                    warm.advanceTo(*trace, stop);
+                    writeSnapshot(spath, warm, *trace, stop);
+                }
+                loadSnapshotInto(spath, c, *trace);
+                c.advanceTo(*trace);
+                return c.finishRun();
+            };
+            const SimResult full = rerun(false);
+            const SimResult rr = rerun(true);
+            if (snapshot_path.empty())
+                std::remove(spath.c_str());
+            if (rr.saveState().dump(0) != full.saveState().dump(0)) {
+                std::fprintf(stderr,
+                             "validate-snapshot: FAILED — round trip "
+                             "at cycle %llu diverged from the full "
+                             "run\n",
+                             static_cast<unsigned long long>(stop));
+                return kExitRuntime;
+            }
+            std::fprintf(stderr,
+                         "validate-snapshot: OK — save/restore at "
+                         "cycle %llu is bit-identical\n",
+                         static_cast<unsigned long long>(stop));
+        }
         printResult(json_path == "-" ? stderr : stdout, r);
         if (profile)
             std::fputs(prof::reportText(r.uops, wall).c_str(),
