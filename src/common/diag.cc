@@ -16,6 +16,8 @@ diagCodeName(DiagCode code)
       case DiagCode::TraceBadRecord:      return "E_TRACE_BAD_RECORD";
       case DiagCode::TraceBudgetExceeded:
         return "E_TRACE_BUDGET_EXCEEDED";
+      case DiagCode::TraceLimitExceeded:
+        return "E_TRACE_LIMIT_EXCEEDED";
       case DiagCode::IoOpenFailed:        return "E_IO_OPEN_FAILED";
       case DiagCode::IoWriteFailed:       return "E_IO_WRITE_FAILED";
       case DiagCode::AuditViolation:      return "E_AUDIT_VIOLATION";

@@ -45,6 +45,7 @@ enum class DiagCode : std::uint8_t
     TraceTruncated,      ///< stream ended mid-record
     TraceBadRecord,      ///< record failed field validation
     TraceBudgetExceeded, ///< recovery skipped more records than allowed
+    TraceLimitExceeded,  ///< trace exceeds a hard resource cap
     IoOpenFailed,        ///< cannot open a file
     IoWriteFailed,       ///< write/flush failed
     AuditViolation,      ///< a structural invariant does not hold

@@ -129,13 +129,22 @@ readJournal(const std::string &path, JournalReadStats *stats)
 
     std::vector<json::Value> out;
     std::size_t pos = 0;
+    std::uint64_t lineNo = 0;
+    const auto markBad = [&] {
+        if (st.firstBadLine == 0) {
+            st.firstBadLine = lineNo;
+            st.firstBadOffset = pos;
+        }
+    };
     while (pos < bytes.size()) {
+        ++lineNo;
         const std::size_t nl = bytes.find('\n', pos);
         if (nl == std::string::npos) {
             // Torn final append (SIGKILL mid-write): drop the tail.
             st.truncatedTail = true;
             ++st.badLines;
             st.droppedBytes += bytes.size() - pos;
+            markBad();
             break;
         }
         const std::size_t len = nl - pos;
@@ -166,6 +175,7 @@ readJournal(const std::string &path, JournalReadStats *stats)
         } else {
             ++st.badLines;
             st.droppedBytes += len + 1;
+            markBad();
         }
         pos = nl + 1;
     }

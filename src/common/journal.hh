@@ -49,6 +49,10 @@ struct JournalReadStats
     std::uint64_t droppedBytes = 0;
     /** The file ended mid-line (torn final append). */
     bool truncatedTail = false;
+    /** 1-based line number of the first damaged record (0 = none). */
+    std::uint64_t firstBadLine = 0;
+    /** Byte offset of that line's first byte in the file. */
+    std::uint64_t firstBadOffset = 0;
 };
 
 /**

@@ -112,6 +112,13 @@ MachineConfig::validate() const
             "prefetch depth must be 1..64 strides" +
                 got(prefetchDegree));
     }
+    if (mobPartialBits != 0 &&
+        (mobPartialBits < 6 || mobPartialBits > 48)) {
+        bad("mob_partial_bits",
+            "partial comparator width must be 0 (full addresses) or "
+            "6..48 bits" +
+                got(mobPartialBits));
+    }
 
     // Memory hierarchy geometry.
     for (Diag &d : mem.l1.validate("config.mem.l1"))

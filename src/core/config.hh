@@ -168,6 +168,17 @@ struct MachineConfig
     /** Second-level-scheduler latency of the dual-scheduled pipe. */
     Cycle dualSchedExtraLat = 2;
 
+    /**
+     * MOB partial-address disambiguation: compare only the low this
+     * many address bits when a load checks older known-address stores,
+     * the narrow comparator real MOBs use (and the effect SPOILER
+     * measures — 4K-aliasing accesses match at 12+ bits while being
+     * disjoint in full addresses). A false (alias-only) match stalls
+     * the load for collisionPenalty cycles. 0 (default) = full-address
+     * comparison, timing byte-identical to the pre-existing model.
+     */
+    unsigned mobPartialBits = 0;
+
     // Store Barrier Cache ([Hess95] baseline).
     std::size_t barrierEntries = 2048;
 

@@ -176,6 +176,10 @@ machineConfigFromIni(std::istream &is, MachineConfig base)
          [](MachineConfig &c, const std::string &v) {
              c.collisionPenalty = parseU64(v);
          }},
+        {"mob_partial_bits",
+         [](MachineConfig &c, const std::string &v) {
+             c.mobPartialBits = static_cast<unsigned>(parseU64(v));
+         }},
         {"branch_mispredict_penalty",
          [](MachineConfig &c, const std::string &v) {
              c.branchMispredictPenalty = parseU64(v);
@@ -354,6 +358,7 @@ machineConfigToIni(const MachineConfig &cfg)
     os << "complex_units = " << cfg.complexUnits << "\n";
     os << "std_ports = " << cfg.stdPorts << "\n";
     os << "collision_penalty = " << cfg.collisionPenalty << "\n";
+    os << "mob_partial_bits = " << cfg.mobPartialBits << "\n";
     os << "branch_mispredict_penalty = "
        << cfg.branchMispredictPenalty << "\n";
     os << "replay_backoff = " << cfg.replayBackoff << "\n";

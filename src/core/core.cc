@@ -154,6 +154,10 @@ OooCore::OooCore(const MachineConfig &cfg)
     if (cfg_.stridePrefetch)
         prefetcher_ = std::make_unique<LoadAddressPredictor>(1024);
 
+    // Before registerStats(): the mob.partial_* counters register only
+    // when partial-address disambiguation is on.
+    mob_.setPartialBits(cfg_.mobPartialBits);
+
     registerStats();
 }
 
@@ -1065,6 +1069,16 @@ OooCore::executeLoad(RobEntry &e)
         // correct pipe once the bank is known.
         ++res_.bankMispredicts;
         agu_done += cfg_.aguLat + l1_lat;
+    }
+
+    // Partial-address disambiguation (mob_partial_bits > 0): the
+    // narrow comparator flags a false 4K-alias dependence on an older
+    // known-address store, and the load conservatively pays the
+    // re-execution penalty before proceeding. Off by default (bits=0),
+    // keeping the full-address timing byte-identical.
+    if (cfg_.mobPartialBits != 0 &&
+        mob_.partialAliasOlder(e.seq, u.addr, u.memSize, now_)) {
+        agu_done += cfg_.collisionPenalty;
     }
 
     // Consult the MOB with oracle addresses for the ordering outcome.

@@ -101,6 +101,14 @@ writeSnapshot(const std::string &path, const OooCore &core,
     header.set("trace", json::Value(trace.name()));
     header.set("trace_size",
                json::Value(static_cast<std::uint64_t>(trace.size())));
+    // Ingested traces carry a source-content identity; a checkpoint
+    // must never be restored against a since-modified trace file.
+    if (trace.contentCrc() != 0 || trace.contentBytes() != 0) {
+        header.set("trace_bytes", json::Value(trace.contentBytes()));
+        header.set("trace_crc32",
+                   json::Value(static_cast<std::uint64_t>(
+                       trace.contentCrc())));
+    }
     header.set("config", json::Value(machineConfigToIni(core.config())));
     header.set("sections", json::Value(static_cast<std::uint64_t>(
                                state.members().size())));
@@ -165,6 +173,14 @@ readSnapshot(const std::string &path)
     img.target = fieldU64(header, "target", path);
     img.traceName = fieldString(header, "trace", path);
     img.traceSize = fieldU64(header, "trace_size", path);
+    // Optional: only ingested-trace snapshots carry these.
+    if (const json::Value *v = header.find("trace_bytes")) {
+        if (!v->isNumber())
+            badSnapshot(path, "non-numeric field 'trace_bytes'");
+        img.traceBytes = v->asU64();
+        img.traceCrc = static_cast<std::uint32_t>(
+            fieldU64(header, "trace_crc32", path));
+    }
     img.configIni = fieldString(header, "config", path);
     const std::uint64_t sections = fieldU64(header, "sections", path);
 
@@ -208,6 +224,13 @@ restoreSnapshot(const SnapshotImage &img, OooCore &core,
                     "snapshot trace has " +
                         std::to_string(img.traceSize) + " uops, ours " +
                         std::to_string(trace.size()));
+    if (img.traceBytes != trace.contentBytes() ||
+        img.traceCrc != trace.contentCrc()) {
+        badSnapshot(img.traceName,
+                    "snapshot trace content identity mismatch (the "
+                    "source file changed since the checkpoint was "
+                    "written)");
+    }
     core.loadState(img.state, trace);
 }
 
@@ -222,7 +245,34 @@ std::string
 warmupSnapshotPath(const std::string &dir,
                    const std::string &trace_name)
 {
-    return dir + "/" + trace_name + ".warmup.snap";
+    // Library trace names are bare identifiers and map through
+    // unchanged (existing checkpoint paths must not move). ChampSim
+    // specs contain ':' and '/' — flatten those to keep the file in
+    // @p dir, and disambiguate with a hash of the original so two
+    // specs never share a checkpoint after flattening.
+    std::string flat;
+    bool changed = false;
+    for (const char c : trace_name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        flat += ok ? c : '_';
+        changed = changed || !ok;
+    }
+    if (changed) {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const char c : trace_name) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ULL;
+        }
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(h));
+        flat += "-";
+        flat += hex;
+    }
+    return dir + "/" + flat + ".warmup.snap";
 }
 
 std::string
@@ -242,13 +292,21 @@ prepareWarmupSnapshots(const BatchGrid &grid, const std::string &dir,
     // Worth-reusing check: a leftover checkpoint is only trusted when
     // it validates end to end AND matches this sweep's identity; any
     // mismatch, damage or torn file is rewritten (crash recovery).
+    // @p trace is non-null for ingested traces, whose content
+    // identity (bytes + CRC of the source file) must also match — a
+    // re-downloaded or edited trace file silently invalidates its
+    // checkpoint.
     const auto reusable = [&](const std::string &path,
-                              const std::string &trace_name) {
+                              const std::string &trace_name,
+                              const VecTrace *trace) {
         try {
             const SnapshotImage img = readSnapshot(path);
             return img.target == grid.warmupSnapshot &&
                    img.traceName == trace_name &&
-                   img.configIni == wantConfig;
+                   img.configIni == wantConfig &&
+                   img.traceBytes ==
+                       (trace ? trace->contentBytes() : 0) &&
+                   img.traceCrc == (trace ? trace->contentCrc() : 0);
         } catch (const IoError &) {
             return false; // absent / unreadable
         } catch (const ConfigError &) {
@@ -262,11 +320,18 @@ prepareWarmupSnapshots(const BatchGrid &grid, const std::string &dir,
         try {
             const std::string &name = grid.traces[i];
             const std::string path = warmupSnapshotPath(dir, name);
-            if (reusable(path, name))
-                return;
             const TraceParams tp =
                 TraceLibrary::byName(name, grid.len);
-            auto trace = TraceLibrary::make(tp);
+            // Ingested traces must be read before the reuse check
+            // (their identity lives in the file); synthetic traces
+            // are only generated when the checkpoint needs rebuilding.
+            std::unique_ptr<VecTrace> trace;
+            if (!tp.champsimPath.empty())
+                trace = TraceLibrary::make(tp);
+            if (reusable(path, name, trace.get()))
+                return;
+            if (!trace)
+                trace = TraceLibrary::make(tp);
             OooCore core(grid.base);
             core.beginRun(*trace);
             core.advanceTo(*trace, grid.warmupSnapshot);

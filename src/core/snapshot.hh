@@ -61,8 +61,13 @@ class TraceStream;
 struct BatchGrid;
 struct SimJob;
 
-/** Current snapshot format version; loaders reject anything else. */
-constexpr std::uint64_t kSnapshotFormatVersion = 1;
+/**
+ * Current snapshot format version; loaders reject anything else.
+ * v2: MOB partial-match counters in the "mob" section; optional
+ * trace_bytes/trace_crc32 header fields carrying the content identity
+ * of ingested (ChampSim) traces.
+ */
+constexpr std::uint64_t kSnapshotFormatVersion = 2;
 
 /** One parsed snapshot file. */
 struct SnapshotImage
@@ -75,6 +80,10 @@ struct SnapshotImage
     Cycle target = 0;
     std::string traceName;
     std::uint64_t traceSize = 0;
+    /** Source-content identity of an ingested trace (0,0 = synthetic:
+     *  identity is fully covered by name + size). */
+    std::uint64_t traceBytes = 0;
+    std::uint32_t traceCrc = 0;
     /** machineConfigToIni() of the machine that wrote the snapshot. */
     std::string configIni;
     /** The core state document (object of sections). */

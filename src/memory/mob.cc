@@ -43,6 +43,16 @@ Mob::registerStats(StatsGroup g)
     g.derived("occupancy",
               [this] { return static_cast<double>(stores_.size()); },
               "stores currently in the window");
+    // Only present in partial-address mode: the default (full-address)
+    // registry must stay byte-identical to what the goldens pin.
+    if (partialBits_ != 0) {
+        g.bindCounter("partial_alias_matches", &partialAliasMatches_,
+                      "loads stalled on a false partial-address "
+                      "(4K-alias) store match");
+        g.bindCounter("partial_true_matches", &partialTrueMatches_,
+                      "loads whose partial-address store match was a "
+                      "real overlap");
+    }
 }
 
 bool
@@ -186,6 +196,40 @@ Mob::collidesAt(SeqNum load_seq, Addr addr, std::uint8_t size,
     return false;
 }
 
+bool
+Mob::partialAliasOlder(SeqNum load_seq, Addr addr, std::uint8_t size,
+                       Cycle now) const
+{
+    if (partialBits_ == 0)
+        return false;
+    const Addr mask = partialBits_ >= 64
+                          ? ~Addr(0)
+                          : (Addr(1) << partialBits_) - 1;
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (!it->addrKnownAt(now))
+            continue;
+        // Narrow comparator: ranges compared in the masked window.
+        // Accesses straddling the window boundary wrap; they are
+        // vanishingly rare and a wrap only widens the match — i.e.
+        // errs conservative, like the hardware.
+        if (!rangesOverlap(it->addr & mask, it->size, addr & mask,
+                           size)) {
+            continue;
+        }
+        if (rangesOverlap(it->addr, it->size, addr, size)) {
+            // The match is real: full-address machinery (forwarding,
+            // collision classification) already handles this store.
+            ++partialTrueMatches_;
+            return false;
+        }
+        ++partialAliasMatches_;
+        return true;
+    }
+    return false;
+}
+
 unsigned
 Mob::overlapDistance(SeqNum load_seq, Addr addr,
                      std::uint8_t size) const
@@ -238,6 +282,8 @@ Mob::saveState() const
     st.set("stores", std::move(recs));
     st.set("inserted", json::Value(inserted_));
     st.set("violations", json::Value(violations_));
+    st.set("partial_alias", json::Value(partialAliasMatches_));
+    st.set("partial_true", json::Value(partialTrueMatches_));
     return st;
 }
 
@@ -265,6 +311,8 @@ Mob::loadState(const json::Value &state)
     }
     inserted_ = stateio::needU64(state, "inserted");
     violations_ = stateio::needU64(state, "violations");
+    partialAliasMatches_ = stateio::needU64(state, "partial_alias");
+    partialTrueMatches_ = stateio::needU64(state, "partial_true");
 }
 
 } // namespace lrs

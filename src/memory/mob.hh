@@ -100,6 +100,29 @@ class Mob
     void registerStats(StatsGroup g);
 
     /**
+     * Enable partial-address disambiguation: queries through
+     * partialAliasOlder() compare only the low @p bits of addresses,
+     * the way a real MOB's narrow comparators do (and the way SPOILER
+     * exploits — 4K-aliasing stores/loads match on the low 12+ bits
+     * while the full addresses are disjoint). 0 = full addresses
+     * (default; nothing changes). Must be set before registerStats()
+     * so the partial counters appear only when the mode is active.
+     */
+    void setPartialBits(unsigned bits) { partialBits_ = bits; }
+    unsigned partialBits() const { return partialBits_; }
+
+    /** Loads whose partial match was a false (alias-only) match. */
+    std::uint64_t partialAliasMatches() const
+    {
+        return partialAliasMatches_;
+    }
+    /** Loads whose partial match was a true (full-overlap) match. */
+    std::uint64_t partialTrueMatches() const
+    {
+        return partialTrueMatches_;
+    }
+
+    /**
      * True iff some store older than @p load_seq has an unknown
      * address at @p now.
      */
@@ -135,6 +158,20 @@ class Mob
      */
     bool collidesAt(SeqNum load_seq, Addr addr, std::uint8_t size,
                     Cycle now) const;
+
+    /**
+     * Partial-address check against *known*-address older stores: the
+     * narrow comparator a real MOB runs when a load executes. Returns
+     * true iff the youngest older known-address store whose low
+     * partialBits() match the load does NOT actually overlap it —
+     * a false 4K-alias dependence the load must conservatively stall
+     * on (counted in partial_alias_matches). A matching store that
+     * really overlaps counts as partial_true_matches and returns
+     * false (the ordinary collision machinery handles it). Always
+     * false when partial matching is off.
+     */
+    bool partialAliasOlder(SeqNum load_seq, Addr addr,
+                           std::uint8_t size, Cycle now) const;
 
     /**
      * Store-distance of the youngest older overlapping store: 1 means
@@ -177,6 +214,13 @@ class Mob
 
     std::uint64_t inserted_ = 0;
     std::uint64_t violations_ = 0;
+
+    /** Comparator width; 0 = full-address disambiguation. */
+    unsigned partialBits_ = 0;
+    // Mutable: the queries are logically const but the accounting of
+    // alias vs true matches is a measurement side effect.
+    mutable std::uint64_t partialAliasMatches_ = 0;
+    mutable std::uint64_t partialTrueMatches_ = 0;
 
     StoreRec *find(SeqNum sta_seq);
 };

@@ -1,0 +1,396 @@
+#include "trace/champsim_reader.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <istream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/crc.hh"
+#include "common/diag.hh"
+
+namespace lrs
+{
+
+namespace
+{
+
+/** Streaming window size: refilled whenever fewer bytes remain. */
+constexpr std::size_t kWindowBytes = 64 * 1024;
+
+/** ChampSim register numbers with reserved meanings (Pin encoding). */
+constexpr std::uint8_t kCsRegInvalid = 0;
+constexpr std::uint8_t kCsRegStackPointer = 6;
+
+[[noreturn]] void
+throwTrace(DiagCode code, const std::string &param,
+           const std::string &message)
+{
+    throw TraceError(makeDiag(code, "trace.champsim", param, message));
+}
+
+template <typename T>
+T
+load(const std::uint8_t *p)
+{
+    static_assert(std::endian::native == std::endian::little,
+                  "trace decoding assumes a little-endian host");
+    T v{};
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/**
+ * Map a ChampSim (Pin-encoded) register number onto our architectural
+ * register file. 0 means "no register"; the stack pointer keeps its
+ * special identity; everything else folds deterministically into the
+ * integer file, skipping the stack-pointer slot so arbitrary registers
+ * never alias the stack. High Pin numbers (vector/FP state) land in
+ * the same fold — the core only needs dependence edges, not ISA
+ * semantics.
+ */
+std::int8_t
+mapReg(std::uint8_t r)
+{
+    if (r == kCsRegInvalid)
+        return -1;
+    if (r == kCsRegStackPointer)
+        return kStackPtrReg;
+    int idx = r % (kNumIntRegs - 1); // [0, 15)
+    if (idx >= kStackPtrReg)
+        ++idx;
+    return static_cast<std::int8_t>(idx);
+}
+
+/** Why champSimRecordPlausible() rejects the window at @p p. */
+const char *
+describeBadRecord(const std::uint8_t *p)
+{
+    if (load<std::uint64_t>(p) == 0)
+        return "instruction pointer is zero";
+    if (p[8] > 1)
+        return "is_branch is not 0/1";
+    if (p[9] > 1)
+        return "branch_taken is not 0/1";
+    if (p[9] == 1 && p[8] == 0)
+        return "branch_taken set on a non-branch";
+    return "memory operand is the reserved all-ones address";
+}
+
+} // namespace
+
+bool
+champSimRecordPlausible(const std::uint8_t *p)
+{
+    // Field bounds that hold for every record a real tracer emits and
+    // that a random/corrupt 64-byte window fails with probability
+    // ~1 - 2^-14 — strict validation and resync heuristic in one.
+    if (load<std::uint64_t>(p) == 0)
+        return false;
+    if (p[8] > 1 || p[9] > 1)
+        return false;
+    if (p[9] == 1 && p[8] == 0)
+        return false;
+    // The all-ones address is our internal "invalid" sentinel
+    // (kAddrInvalid); a record carrying it could confuse the core's
+    // address-known logic, and no real trace addresses live there.
+    for (std::size_t off = 16; off < kChampSimRecordBytes; off += 8) {
+        if (load<std::uint64_t>(p + off) == kAddrInvalid)
+            return false;
+    }
+    return true;
+}
+
+bool
+looksLikeChampSimFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::uint8_t head[4096];
+    f.read(reinterpret_cast<char *>(head), sizeof(head));
+    const std::size_t n = static_cast<std::size_t>(f.gcount());
+    const std::size_t windows = n / kChampSimRecordBytes;
+    if (windows == 0)
+        return false;
+    // A short file must be whole records; a longer head just needs
+    // every complete window to parse.
+    if (n < sizeof(head) && n % kChampSimRecordBytes != 0)
+        return false;
+    for (std::size_t w = 0; w < windows; ++w) {
+        if (!champSimRecordPlausible(head + w * kChampSimRecordBytes))
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Decode one validated record into @p uops. Bounded: <= 13 uops. */
+void
+decodeRecord(const std::uint8_t *p, std::vector<Uop> &uops)
+{
+    const Addr ip = load<std::uint64_t>(p);
+    const bool is_branch = p[8] != 0;
+    const bool taken = p[9] != 0;
+    const std::uint8_t *dreg = p + 10;
+    const std::uint8_t *sreg = p + 12;
+
+    bool any_mem = false;
+    int load_slot = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const Addr a = load<std::uint64_t>(p + 32 + 8 * i);
+        if (a == 0)
+            continue;
+        Uop u;
+        u.pc = ip;
+        u.cls = UopClass::Load;
+        u.addr = a;
+        u.memSize = 8;
+        u.src1 = mapReg(sreg[i]);
+        // The first loads feed the instruction's destinations.
+        u.dst = load_slot < 2 ? mapReg(dreg[load_slot]) : -1;
+        if (u.dst < 0)
+            u.dst = mapReg(dreg[0]);
+        ++load_slot;
+        any_mem = true;
+        uops.push_back(u);
+    }
+    for (std::size_t j = 0; j < 2; ++j) {
+        const Addr a = load<std::uint64_t>(p + 16 + 8 * j);
+        if (a == 0)
+            continue;
+        Uop sta;
+        sta.pc = ip;
+        sta.cls = UopClass::StoreAddr;
+        sta.addr = a;
+        sta.memSize = 8;
+        sta.src1 = mapReg(sreg[0]);
+        uops.push_back(sta);
+        Uop std_;
+        std_.pc = ip;
+        std_.cls = UopClass::StoreData;
+        std_.src1 = mapReg(sreg[1]);
+        uops.push_back(std_);
+        any_mem = true;
+    }
+    if (is_branch) {
+        Uop b;
+        b.pc = ip;
+        b.cls = UopClass::Branch;
+        b.taken = taken;
+        b.src1 = mapReg(sreg[0]);
+        uops.push_back(b);
+    } else if (!any_mem) {
+        // Register-only instruction: one ALU uop. High Pin register
+        // numbers carry vector/x87 state, so route those to the FP
+        // unit; everything else is integer work.
+        Uop a;
+        a.pc = ip;
+        a.cls = UopClass::IntAlu;
+        for (std::size_t i = 0; i < 4; ++i) {
+            if ((i < 2 && dreg[i] >= 32) || sreg[i] >= 32)
+                a.cls = UopClass::FpAlu;
+        }
+        a.src1 = mapReg(sreg[0]);
+        a.src2 = mapReg(sreg[1]);
+        const std::int8_t d = mapReg(dreg[0]);
+        if (a.cls == UopClass::FpAlu)
+            a.dst = d < 0 ? -1 : static_cast<std::int8_t>(
+                                     kNumIntRegs + d % kNumFpRegs);
+        else
+            a.dst = d;
+        uops.push_back(a);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<VecTrace>
+readChampSimTrace(std::istream &is, const std::string &name,
+                  const ChampSimReadOptions &opts,
+                  TraceReadStats *stats, ChampSimTraceInfo *info)
+{
+    TraceReadStats local;
+    TraceReadStats &st = stats ? *stats : local;
+    ChampSimTraceInfo local_info;
+    ChampSimTraceInfo &in = info ? *info : local_info;
+
+    std::vector<Uop> uops;
+    std::unordered_set<std::uint64_t> pages;
+    std::vector<std::uint8_t> buf;
+    buf.reserve(kWindowBytes + kChampSimRecordBytes);
+    std::size_t off = 0;   // decode cursor into buf
+    bool eof = false;
+    bool sliding = false;  // recovery lost the framing; hunting
+    std::uint64_t record_idx = 0; // records attempted (for messages)
+
+    // Refill the window, enforcing the source-size cap and folding
+    // every fetched byte into the identity CRC. The window is the only
+    // input-side allocation: a multi-GB source never lives in memory.
+    const auto refill = [&]() {
+        if (off > 0) {
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(off));
+            off = 0;
+        }
+        char tmp[16384];
+        while (!eof && buf.size() < kWindowBytes) {
+            is.read(tmp, sizeof(tmp));
+            const std::size_t n = static_cast<std::size_t>(is.gcount());
+            if (n > 0) {
+                in.bytes += n;
+                if (in.bytes > opts.maxFileBytes) {
+                    throwTrace(
+                        DiagCode::TraceLimitExceeded, "max_file_bytes",
+                        "trace source exceeds the " +
+                            std::to_string(opts.maxFileBytes) +
+                            "-byte cap — raise --max-file-bytes if "
+                            "this is intentional");
+                }
+                in.crc = crc32(tmp, n, in.crc);
+                buf.insert(buf.end(), tmp, tmp + n);
+            }
+            if (!is)
+                eof = true;
+        }
+    };
+
+    const auto touchPage = [&](Addr a) {
+        pages.insert(a >> 12);
+        if (pages.size() > opts.maxPages) {
+            throwTrace(DiagCode::TraceLimitExceeded, "max_pages",
+                       "trace touches more than " +
+                           std::to_string(opts.maxPages) +
+                           " distinct 4KiB pages — raise --max-pages "
+                           "if this is intentional");
+        }
+    };
+
+    while (true) {
+        if (buf.size() - off < kChampSimRecordBytes)
+            refill();
+        const std::size_t avail = buf.size() - off;
+        if (avail < kChampSimRecordBytes)
+            break; // end of stream; avail bytes are the tail
+        if (opts.maxInstructions != 0 &&
+            in.instructions >= opts.maxInstructions) {
+            // Instruction cap reached: deliberate truncation, like
+            // --len on a synthetic trace. Not an error and not a torn
+            // tail — stop cleanly.
+            off = buf.size();
+            break;
+        }
+        const std::uint8_t *p = buf.data() + off;
+        if (champSimRecordPlausible(p)) {
+            const std::size_t before = uops.size();
+            decodeRecord(p, uops);
+            for (std::size_t i = before; i < uops.size(); ++i) {
+                if (uops[i].isMem())
+                    touchPage(uops[i].addr);
+            }
+            ++in.instructions;
+            ++st.recordsRead;
+            ++record_idx;
+            off += kChampSimRecordBytes;
+            sliding = false;
+            continue;
+        }
+        if (sliding) {
+            ++off;
+            ++st.resyncBytes;
+            continue;
+        }
+        if (!opts.read.recover) {
+            const std::uint64_t byte_off =
+                in.bytes - buf.size() + off;
+            throwTrace(DiagCode::TraceBadRecord,
+                       "record " + std::to_string(record_idx),
+                       std::string(describeBadRecord(p)) +
+                           " (byte offset " +
+                           std::to_string(byte_off) + ")");
+        }
+        ++st.skippedRecords;
+        ++record_idx;
+        if (st.skippedRecords > opts.read.badRecordBudget) {
+            throwTrace(
+                DiagCode::TraceBudgetExceeded, "bad_record_budget",
+                "skipped " + std::to_string(st.skippedRecords) +
+                    " malformed records, budget allows " +
+                    std::to_string(opts.read.badRecordBudget) +
+                    " — the trace is damaged beyond graceful "
+                    "degradation");
+        }
+        // Prefer preserved framing: bytes corrupted in place leave
+        // the next record boundary parseable.
+        if (avail >= 2 * kChampSimRecordBytes &&
+            champSimRecordPlausible(p + kChampSimRecordBytes)) {
+            off += kChampSimRecordBytes;
+            continue;
+        }
+        if (avail < 2 * kChampSimRecordBytes) {
+            // Nothing after this window: consume it; any leftover
+            // becomes the torn tail below.
+            off += kChampSimRecordBytes;
+            continue;
+        }
+        // Framing lost (bytes inserted/removed): hunt byte-by-byte.
+        sliding = true;
+        ++off;
+        ++st.resyncBytes;
+    }
+
+    const std::size_t tail = buf.size() - off;
+    if (tail > 0) {
+        if (!opts.read.recover) {
+            throwTrace(DiagCode::TraceTruncated, "tail",
+                       "stream ends mid-record: " +
+                           std::to_string(tail) +
+                           " trailing bytes after " +
+                           std::to_string(in.instructions) +
+                           " records (torn download?)");
+        }
+        st.truncatedTailBytes += tail;
+    }
+
+    if (uops.empty()) {
+        if (in.bytes < kChampSimRecordBytes) {
+            throwTrace(DiagCode::TraceTruncated, "size",
+                       "source holds " + std::to_string(in.bytes) +
+                           " bytes — not even one 64-byte ChampSim "
+                           "record");
+        }
+        throwTrace(DiagCode::TraceBadRecord, "records",
+                   "no usable ChampSim records in " +
+                       std::to_string(in.bytes) + " bytes");
+    }
+
+    in.pages = pages.size();
+    auto trace = std::make_unique<VecTrace>(name, std::move(uops));
+    trace->setContentId(in.bytes, in.crc);
+    return trace;
+}
+
+std::unique_ptr<VecTrace>
+readChampSimFile(const std::string &path,
+                 const ChampSimReadOptions &opts,
+                 TraceReadStats *stats, ChampSimTraceInfo *info)
+{
+    if (path == "-")
+        return readChampSimTrace(std::cin, "champsim:-", opts, stats,
+                                 info);
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        throw IoError(makeDiag(DiagCode::IoOpenFailed,
+                               "trace.champsim", "path",
+                               "cannot open for read: " + path));
+    }
+    return readChampSimTrace(f, "champsim:" + path, opts, stats,
+                             info);
+}
+
+} // namespace lrs

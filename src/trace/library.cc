@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/random.hh"
+#include "trace/champsim_reader.hh"
 #include "trace/synthetic.hh"
 
 namespace lrs
@@ -101,8 +102,58 @@ groupBase(TraceGroup g)
         p.chaseSerialFrac = 0.5;
         p.globalRmwFrac = 0.5;
         break;
+      case TraceGroup::Adversarial:
+        // Hostile families; the real shape comes from familyTune().
+        p.wCall = 0.3; p.wArrayLoop = 0.3; p.wChase = 0.1;
+        p.wGlobal = 0.3;
+        break;
+      case TraceGroup::External:
+        // Ingested (ChampSim) traces: the generator never runs.
+        break;
     }
     return p;
+}
+
+/**
+ * Per-family shape of the adversarial traces (docs/TRACES.md). Each
+ * is built to hurt one predictor specifically.
+ */
+void
+familyTune(TraceParams &p)
+{
+    if (p.name == "spoiler4k") {
+        // SPOILER-style 4K-aliasing collision storm: saturate
+        // partial-address disambiguation with same-page-offset,
+        // different-page load/store pairs.
+        p.wAlias = 2.5;
+        p.numAliasSites = 12;
+        p.aliasFanout = 8;
+        p.aliasTrueFrac = 0.15;
+    } else if (p.name == "flipper") {
+        // Phase-shifting collision flipper: every colliding site in
+        // the trace inverts behaviour in lockstep, repeatedly, right
+        // as the CHT converges.
+        p.wAlias = 0.8;
+        p.aliasPhaseLen = 16;
+        p.numAliasSites = 8;
+        p.aliasTrueFrac = 0.5;
+        p.wGlobal = 1.8;
+        p.globalRmwFrac = 0.9;
+        p.globalPhaseLen = 24;
+        p.globalReloadProb = 0.9;
+        p.wCall = 0.3; p.wArrayLoop = 0.4; p.wChase = 0.05;
+    } else if (p.name == "gcmark") {
+        // GC-like mark phase: serialised pointer chases over a
+        // far-beyond-L2 heap with visited-bit stores — L1 hit rate
+        // collapses and per-PC hit/miss history turns incoherent.
+        p.wChase = 2.5;
+        p.numChases = 10;
+        p.chaseFootprint = 768 * 1024;
+        p.minChaseLen = 8; p.maxChaseLen = 24;
+        p.chaseSerialFrac = 0.8;
+        p.chaseStoreProb = 0.35;
+        p.wCall = 0.2; p.wArrayLoop = 0.2; p.wGlobal = 0.3;
+    }
 }
 
 /** Deterministic per-trace variation so traces within a group differ. */
@@ -145,6 +196,7 @@ catalog()
          {"quake", "descent", "flight", "pinball", "monster"}},
         {TraceGroup::Java, {"javac", "jess", "db", "mtrt", "jack"}},
         {TraceGroup::TPC, {"tpcc", "tpcd"}},
+        {TraceGroup::Adversarial, {"spoiler4k", "flipper", "gcmark"}},
     };
     return kCatalog;
 }
@@ -162,6 +214,7 @@ TraceLibrary::group(TraceGroup g, std::uint64_t length)
             TraceParams p = groupBase(g);
             p.name = n;
             p.length = length;
+            familyTune(p);
             jitter(p);
             out.push_back(p);
         }
@@ -172,12 +225,37 @@ TraceLibrary::group(TraceGroup g, std::uint64_t length)
 TraceParams
 TraceLibrary::byName(const std::string &name, std::uint64_t length)
 {
+    // "champsim:PATH" names an ingested external trace. Resolving the
+    // spec is cheap and deterministic; the file itself is only opened
+    // (and validated) by make().
+    if (name.rfind("champsim:", 0) == 0) {
+        const std::string path = name.substr(9);
+        if (path.empty()) {
+            throw std::invalid_argument(
+                "champsim trace spec needs a path: champsim:PATH");
+        }
+        if (path == "-") {
+            // stdin is single-pass; grid cells (and warmup snapshots)
+            // re-read the source per cell.
+            throw std::invalid_argument(
+                "'champsim:-' (stdin) cannot be used here — pipe to "
+                "'lrs_sim --champsim -' for a single run instead");
+        }
+        TraceParams p;
+        p.group = TraceGroup::External;
+        p.name = name;
+        p.length = length;
+        p.champsimPath = path;
+        p.seed = hashName(name) | 1;
+        return p;
+    }
     for (const auto &[grp, names] : catalog()) {
         for (const auto &n : names) {
             if (n == name) {
                 TraceParams p = groupBase(grp);
                 p.name = n;
                 p.length = length;
+                familyTune(p);
                 jitter(p);
                 return p;
             }
@@ -198,6 +276,15 @@ TraceLibrary::names(TraceGroup g)
 std::unique_ptr<VecTrace>
 TraceLibrary::make(const TraceParams &p)
 {
+    if (!p.champsimPath.empty()) {
+        ChampSimReadOptions o;
+        o.read.recover = p.champsimRecover;
+        o.read.badRecordBudget = p.champsimBadRecordBudget;
+        o.maxInstructions = p.length;
+        o.maxPages = p.champsimMaxPages;
+        o.maxFileBytes = p.champsimMaxFileBytes;
+        return readChampSimFile(p.champsimPath, o);
+    }
     return generateTrace(p);
 }
 

@@ -23,7 +23,12 @@
 namespace lrs
 {
 
-/** The paper's seven trace groups. */
+/**
+ * The paper's seven trace groups, plus two of our own: Adversarial
+ * (hostile synthetic families stressing the predictors — see
+ * docs/TRACES.md) and External (traces ingested from ChampSim files
+ * rather than synthesised).
+ */
 enum class TraceGroup
 {
     SpecInt95,
@@ -33,6 +38,8 @@ enum class TraceGroup
     Games,
     Java,
     TPC,
+    Adversarial,
+    External,
 };
 
 /** Short display name used in bench output ("ISPEC", "NT", ...). */
@@ -150,6 +157,55 @@ struct TraceParams
     double dataBranchBias = 0.85;
     /** Probability of inserting a data-dependent branch per block. */
     double dataBranchProb = 0.12;
+
+    // --- adversarial constructs (docs/TRACES.md) ---
+    /**
+     * Weight of SPOILER-style 4K-aliasing storm bursts: a store
+     * followed by loads whose addresses share its page offset but
+     * live on different pages, so partial-address disambiguation
+     * (MachineConfig::mobPartialBits) sees a collision where the full
+     * addresses are disjoint. 0 disables the construct entirely —
+     * traces that never set it are byte-identical to before it
+     * existed.
+     */
+    double wAlias = 0.0;
+    /** Static alias-storm sites. */
+    int numAliasSites = 8;
+    /** Loads per storm burst (each on a fresh page). */
+    int aliasFanout = 6;
+    /**
+     * Fraction of storm loads that really do collide with the store
+     * (same full address) — the signal a partial-matching MOB must
+     * separate from the 4K-alias noise.
+     */
+    double aliasTrueFrac = 0.15;
+    /**
+     * Flip every alias site's collision behaviour in lockstep every
+     * this many bursts (0 = never): the "flipper" family's weapon
+     * against CHT training, inverting collide/no-collide at the very
+     * moment the table has converged.
+     */
+    int aliasPhaseLen = 0;
+    /** Probability a chase run marks visited nodes (GC-style store). */
+    double chaseStoreProb = 0.0;
+
+    // --- external (ChampSim) source ---
+    /**
+     * Non-empty: ingest this ChampSim trace file instead of
+     * synthesising ("-" = stdin; single runs only). The name of such
+     * a trace is its "champsim:PATH" spec; `length` caps the
+     * instructions read.
+     */
+    std::string champsimPath;
+    /** Tolerant-read discipline for the ChampSim source. */
+    bool champsimRecover = false;
+    /** Bad-record budget when recovering (see TraceReadOptions). */
+    std::uint64_t champsimBadRecordBudget =
+        std::uint64_t(0) - 1; // max: unlimited unless configured
+    /** Hard cap on distinct 4KiB pages touched. */
+    std::uint64_t champsimMaxPages = std::uint64_t(1) << 20;
+    /** Hard cap on source size in bytes. */
+    std::uint64_t champsimMaxFileBytes = std::uint64_t(1) << 31;
 };
 
 } // namespace lrs

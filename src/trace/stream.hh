@@ -12,6 +12,7 @@
 #define LRS_TRACE_STREAM_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,16 @@ class TraceStream
                 break;
         }
     }
+
+    /**
+     * Content identity of an externally ingested trace: the byte count
+     * and CRC-32 of the source bytes the decoder consumed. Zero for
+     * synthesised traces (whose identity is their name + length — both
+     * already checked on snapshot restore). Snapshot restore uses this
+     * to refuse a checkpoint taken from a since-modified trace file.
+     */
+    virtual std::uint64_t contentBytes() const { return 0; }
+    virtual std::uint32_t contentCrc() const { return 0; }
 };
 
 /**
@@ -92,10 +103,23 @@ class VecTrace : public TraceStream
     /** Direct access for analyses that want random access. */
     const std::vector<Uop> &uops() const { return uops_; }
 
+    /** Stamp the source-content identity (external readers only). */
+    void
+    setContentId(std::uint64_t bytes, std::uint32_t crc)
+    {
+        contentBytes_ = bytes;
+        contentCrc_ = crc;
+    }
+
+    std::uint64_t contentBytes() const override { return contentBytes_; }
+    std::uint32_t contentCrc() const override { return contentCrc_; }
+
   private:
     std::string name_;
     std::vector<Uop> uops_;
     std::size_t pos_ = 0;
+    std::uint64_t contentBytes_ = 0;
+    std::uint32_t contentCrc_ = 0;
 };
 
 } // namespace lrs

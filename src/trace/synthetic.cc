@@ -15,6 +15,7 @@ namespace
 constexpr Addr kCodeBase = 0x00400000;
 constexpr Addr kGlobalBase = 0x00800000;
 constexpr Addr kArrayBase = 0x10000000;
+constexpr Addr kAliasBase = 0x20000000;
 constexpr Addr kChaseBase = 0x40000000;
 constexpr Addr kStackTop = 0x7fff0000;
 
@@ -23,6 +24,7 @@ constexpr Addr kFuncPcStride = 0x2000;
 constexpr Addr kLoopPcStride = 0x100;
 constexpr Addr kChasePcStride = 0x100;
 constexpr Addr kGlobalPcStride = 0x40;
+constexpr Addr kAliasPcStride = 0x80;
 
 /** Static shape of one synthetic function. */
 struct FuncShape
@@ -59,6 +61,18 @@ struct ChaseShape
     std::uint64_t len; // nominal run length (stable per site)
 };
 
+/**
+ * Static shape of one SPOILER-style 4K-alias storm site: a store
+ * followed by a fan of loads whose addresses share the store's page
+ * offset, all but a few on different pages.
+ */
+struct AliasShape
+{
+    Addr pcBase;
+    Addr storeAddr;
+    std::uint64_t bursts = 0;
+};
+
 /** Static shape of one global variable access site. */
 struct GlobalShape
 {
@@ -88,9 +102,12 @@ class Generator
     run()
     {
         sp_ = kStackTop;
-        // Normalise mix weights into a cumulative distribution.
-        const double wsum =
-            p_.wCall + p_.wArrayLoop + p_.wChase + p_.wGlobal;
+        // Normalise mix weights into a cumulative distribution. The
+        // adversarial wAlias construct sits LAST so that traces with
+        // wAlias == 0 draw identical picks to before it existed
+        // (adding 0.0 changes neither wsum nor any threshold).
+        const double wsum = p_.wCall + p_.wArrayLoop + p_.wChase +
+                            p_.wGlobal + p_.wAlias;
         assert(wsum > 0.0);
         std::uint64_t picks = 0;
         while (out_.size() < p_.length) {
@@ -127,9 +144,18 @@ class Generator
                 for (std::uint64_t b = 0;
                      b < burst_len && out_.size() < p_.length; ++b)
                     emitChase(c);
-            } else {
+            } else if (r < p_.wCall + p_.wArrayLoop + p_.wChase +
+                               p_.wGlobal ||
+                       aliasSites_.empty()) {
                 emitGlobal(globals_[(phase + rng_.below(8)) %
                                     globals_.size()]);
+            } else {
+                AliasShape &s =
+                    aliasSites_[(phase + rng_.below(4)) %
+                                aliasSites_.size()];
+                for (std::uint64_t b = 0;
+                     b < burst_len && out_.size() < p_.length; ++b)
+                    emitAliasStorm(s);
             }
         }
         out_.resize(p_.length);
@@ -239,6 +265,23 @@ class Generator
             gs.lateAddr = gs.rmw && !gs.pathCorr &&
                           shapeRng_.chance(p_.lateAddrGlobalFrac);
             globals_.push_back(gs);
+        }
+
+        // Alias-storm sites come last and only exist when requested:
+        // traces with wAlias == 0 leave the shape RNG stream exactly
+        // as it was, keeping every pre-existing trace byte-identical.
+        if (p_.wAlias > 0.0 && p_.numAliasSites > 0) {
+            Addr alias_pc = kCodeBase + 0x200000;
+            aliasSites_.reserve(p_.numAliasSites);
+            for (int s = 0; s < p_.numAliasSites; ++s) {
+                AliasShape as;
+                as.pcBase = alias_pc + s * kAliasPcStride;
+                // 8-byte-aligned page offset, different per site; 2MB
+                // spacing keeps the fan of +4K pages site-private.
+                as.storeAddr = kAliasBase + Addr(s) * 0x200000 +
+                               shapeRng_.below(512) * 8;
+                aliasSites_.push_back(as);
+            }
         }
     }
 
@@ -514,8 +557,59 @@ class Generator
                 emitLoad(c.pcBase + 0x00, 5, a, 8, 7);
             }
             emitAlu(c.pcBase + 0x08, 6, 5);
+            // GC-style mark: flag the visited node through the just-
+            // loaded pointer (late STA, unknown-address store for
+            // every following load). Guarded so traces that never set
+            // chaseStoreProb leave the RNG stream untouched.
+            if (p_.chaseStoreProb > 0.0 &&
+                rng_.chance(p_.chaseStoreProb)) {
+                emitStore(c.pcBase + 0x0c, a, 6, 8, 5);
+            }
         }
         emitBranch(c.pcBase + 0x10, true, 6);
+    }
+
+    /**
+     * SPOILER-style 4K-alias storm (docs/TRACES.md): a store with
+     * lagging data, then a fan of loads at the same page offset on
+     * different pages. Full-address disambiguation proves the fan
+     * independent; partial-address disambiguation
+     * (MachineConfig::mobPartialBits) sees the page offset match and
+     * must conservatively collide — exactly the hazard SPOILER
+     * measures. A fixed leading slice of the fan really does collide
+     * (same full address), so predictors see both behaviours at
+     * stable PCs; aliasPhaseLen inverts the slice in lockstep to
+     * yank CHT training mid-run.
+     */
+    void
+    emitAliasStorm(AliasShape &s)
+    {
+        const bool invert =
+            p_.aliasPhaseLen > 0 &&
+            ((s.bursts / p_.aliasPhaseLen) % 2 == 1);
+        ++s.bursts;
+        // The stored value comes off a multi-cycle chain: the STA
+        // resolves immediately, the STD lags — colliding loads pay
+        // the real wrong-ordering penalty.
+        Uop cx;
+        cx.pc = s.pcBase;
+        cx.cls = UopClass::Complex;
+        cx.dst = 9;
+        cx.src1 = 7;
+        emit(cx);
+        emitStore(s.pcBase + 0x02, s.storeAddr, 9, 8, 0);
+        const int true_slots = static_cast<int>(
+            p_.aliasFanout * p_.aliasTrueFrac + 0.5);
+        for (int i = 0;
+             i < p_.aliasFanout && out_.size() < p_.length; ++i) {
+            const bool collides = (i < true_slots) != invert;
+            const Addr a = collides
+                               ? s.storeAddr
+                               : s.storeAddr + (Addr(i) + 1) * 4096;
+            emitLoad(s.pcBase + 0x10 + 4 * i, 6, a, 8, 0);
+            emitAlu(s.pcBase + 0x12 + 4 * i, 8, 6);
+        }
+        emitBranch(s.pcBase + 0x60, true, 8);
     }
 
     /**
@@ -601,6 +695,7 @@ class Generator
     std::size_t streamRr_ = 0;
     std::vector<ChaseShape> chases_;
     std::vector<GlobalShape> globals_;
+    std::vector<AliasShape> aliasSites_;
 };
 
 } // namespace
@@ -623,6 +718,8 @@ traceGroupName(TraceGroup g)
       case TraceGroup::Games:     return "GAME";
       case TraceGroup::Java:      return "JAVA";
       case TraceGroup::TPC:       return "TPC";
+      case TraceGroup::Adversarial: return "ADV";
+      case TraceGroup::External:  return "EXT";
     }
     return "?";
 }

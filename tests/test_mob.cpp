@@ -173,5 +173,102 @@ TEST_F(MobTest, ManyStoresScale)
     EXPECT_EQ(mob.olderAtDistance(1000, 100)->seq, 0u);
 }
 
+// ---- partial-address (narrow comparator) disambiguation ----
+// The SPOILER-style 4K-aliasing cases (docs/TRACES.md): with a
+// 12-bit comparator, a store and a load one page apart share a page
+// offset, so the MOB sees a match the full addresses disprove.
+
+TEST_F(MobTest, PartialOffByDefault)
+{
+    mob.insert(10, 0x1000, 8);
+    mob.staExecuted(10, 0);
+    // Same page offset, different page — but partial matching is off
+    // (partialBits 0), so no alias dependence exists.
+    EXPECT_FALSE(mob.partialAliasOlder(20, 0x1000 + 4096, 8, 5));
+    EXPECT_EQ(mob.partialAliasMatches(), 0u);
+    EXPECT_EQ(mob.partialTrueMatches(), 0u);
+}
+
+TEST_F(MobTest, PartialAliasVsTrueCollisionClassified)
+{
+    mob.setPartialBits(12);
+    mob.insert(10, 0x1000, 8);
+    mob.staExecuted(10, 0);
+
+    // 4K alias: low 12 bits equal, full addresses a page apart. The
+    // narrow comparator must report a (false) dependence and count it
+    // as an alias, not a true match.
+    EXPECT_TRUE(mob.partialAliasOlder(20, 0x1000 + 4096, 8, 5));
+    EXPECT_EQ(mob.partialAliasMatches(), 1u);
+    EXPECT_EQ(mob.partialTrueMatches(), 0u);
+
+    // Truly colliding (same full address): the ordinary collision
+    // machinery owns it — partialAliasOlder returns false and counts
+    // it separately.
+    EXPECT_FALSE(mob.partialAliasOlder(20, 0x1000, 8, 5));
+    EXPECT_EQ(mob.partialAliasMatches(), 1u);
+    EXPECT_EQ(mob.partialTrueMatches(), 1u);
+
+    // Different page offset entirely: no match of any kind.
+    EXPECT_FALSE(mob.partialAliasOlder(20, 0x2500, 8, 5));
+    EXPECT_EQ(mob.partialAliasMatches(), 1u);
+    EXPECT_EQ(mob.partialTrueMatches(), 1u);
+}
+
+TEST_F(MobTest, PartialIgnoresUnknownAddressAndYoungerStores)
+{
+    mob.setPartialBits(12);
+    mob.insert(10, 0x1000, 8); // STA not executed: address unknown
+    EXPECT_FALSE(mob.partialAliasOlder(20, 0x1000 + 4096, 8, 5));
+    EXPECT_EQ(mob.partialAliasMatches(), 0u);
+
+    // Known from cycle 7 on: the comparator sees it only then.
+    mob.staExecuted(10, 7);
+    EXPECT_FALSE(mob.partialAliasOlder(20, 0x1000 + 4096, 8, 6));
+    EXPECT_TRUE(mob.partialAliasOlder(20, 0x1000 + 4096, 8, 7));
+
+    // A younger aliasing store never stalls an older load.
+    EXPECT_FALSE(mob.partialAliasOlder(5, 0x1000 + 4096, 8, 7));
+}
+
+TEST_F(MobTest, PartialYoungestMatchWins)
+{
+    mob.setPartialBits(12);
+    // Older store truly collides; a younger one merely aliases. The
+    // comparator scans youngest-first, so the alias is what a load
+    // behind both observes.
+    mob.insert(10, 0x3000, 8);
+    mob.insert(12, 0x3000 + 8192, 8);
+    mob.staExecuted(10, 0);
+    mob.staExecuted(12, 0);
+    EXPECT_TRUE(mob.partialAliasOlder(20, 0x3000 + 4096, 8, 5));
+    EXPECT_EQ(mob.partialAliasMatches(), 1u);
+    EXPECT_EQ(mob.partialTrueMatches(), 0u);
+}
+
+TEST_F(MobTest, PartialCountersRegisteredOnlyWhenActive)
+{
+    // Stats namespace stays byte-identical with the mode off: the
+    // mob.partial_* counters exist only when partialBits != 0.
+    StatsRegistry off;
+    Mob plain;
+    plain.registerStats(off.group("mob"));
+    EXPECT_FALSE(off.has("mob.partial_alias_matches"));
+    EXPECT_FALSE(off.has("mob.partial_true_matches"));
+
+    StatsRegistry on;
+    Mob partial;
+    partial.setPartialBits(12);
+    partial.registerStats(on.group("mob"));
+    ASSERT_TRUE(on.has("mob.partial_alias_matches"));
+    ASSERT_TRUE(on.has("mob.partial_true_matches"));
+
+    partial.insert(10, 0x1000, 8);
+    partial.staExecuted(10, 0);
+    EXPECT_TRUE(partial.partialAliasOlder(20, 0x1000 + 4096, 8, 5));
+    EXPECT_EQ(on.value("mob.partial_alias_matches"), 1.0);
+    EXPECT_EQ(on.value("mob.partial_true_matches"), 0.0);
+}
+
 } // namespace
 } // namespace lrs

@@ -5,7 +5,7 @@
 # Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_FILE]
 #
 #   BUILD_DIR  where the bench binaries live (default: build/bench)
-#   OUT_FILE   aggregate output (default: BENCH_3.json)
+#   OUT_FILE   aggregate output (default: BENCH_4.json)
 #
 # Environment:
 #   LRS_TRACE_LEN  uops per trace passed through to the benches
@@ -32,11 +32,17 @@
 # trajectory records how much host time the warm-fork protocol saves:
 # warmup is paid once per trace instead of once per cell, and zero
 # times on reuse.
+#
+# The families block is the adversarial-workload profile
+# (docs/TRACES.md): per-family CHT / hit-miss / bank predictor
+# accuracy from `lrs_sim --families`, so the trajectory records how
+# the predictors hold up under deliberately hostile inputs, not just
+# the paper's favourable ones.
 
 set -eu
 
 BUILD_DIR=${1:-build/bench}
-OUT=${2:-BENCH_3.json}
+OUT=${2:-BENCH_4.json}
 : "${LRS_TRACE_LEN:=40000}"
 export LRS_TRACE_LEN
 
@@ -127,6 +133,24 @@ else
     echo "skip: warmup-amortization timing (no lrs_sim at $SIM)" >&2
 fi
 
+# Adversarial-family predictor accuracies (docs/TRACES.md): lift the
+# "families" object out of the --families JSON document. The block is
+# emitted at indent 2, so it ends at the first "  }"-prefixed line.
+FAMILIES_JSON="$TMPDIR_JSON/families.extract"
+printf '{}' > "$FAMILIES_JSON"
+if [ -x "$SIM" ]; then
+    echo "running lrs_sim --families adversarial profile..." >&2
+    "$SIM" --families --len "$LRS_TRACE_LEN" \
+        --json "$TMPDIR_JSON/families.json" > /dev/null 2>&1
+    awk '/^  "families": \{/ {grab=1; print "{"; next}
+         grab && /^  \}/ {print "}"; exit}
+         grab {print}' \
+        "$TMPDIR_JSON/families.json" > "$FAMILIES_JSON"
+    [ -s "$FAMILIES_JSON" ] || printf '{}' > "$FAMILIES_JSON"
+else
+    echo "skip: adversarial families (no lrs_sim at $SIM)" >&2
+fi
+
 {
     printf '{\n'
     printf '  "generated_by": "tools/bench_to_json.sh",\n'
@@ -144,6 +168,8 @@ fi
     printf '    "snapshot_sweep_cold_ms": %s,\n' "$SNAP_COLD_MS"
     printf '    "snapshot_sweep_reuse_ms": %s\n' "$SNAP_REUSE_MS"
     printf '  },\n'
+    printf '  "families": '
+    sed 's/^/  /; 1s/^  //; $s/$/,/' "$FAMILIES_JSON"
     printf '  "benches": [\n'
     first=1
     for b in $BENCHES; do

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Hostile-input fuzz gate for the ChampSim trace reader
+# (docs/TRACES.md). Generates a deterministic corpus, then runs the
+# structure-aware mutator (tools/lrs_tracefuzz.cpp) against the reader
+# for a time budget. Zero crashes, hangs or unclassified exceptions is
+# the pass condition; run it against a sanitized build-dir (see
+# tools/run_sanitized.sh, which wires this in) to also require zero
+# ASan/UBSan findings.
+#
+# Usage: tools/fuzz_trace.sh [build-dir] [seconds] [seed]
+#   defaults: build / 60 / 1
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+seconds=${2:-60}
+seed=${3:-1}
+
+fuzz="$build_dir/tools/lrs_tracefuzz"
+if [ ! -x "$fuzz" ]; then
+    echo "error: $fuzz not built (cmake --build $build_dir)" >&2
+    exit 2
+fi
+
+corpus="$build_dir/fuzz_trace.corpus"
+"$fuzz" gen "$corpus" 1024 "$seed"
+
+# Two corpora exercise different code-path mixes, splitting the time
+# budget: the generated well-formed stream (mutations mostly produce
+# near-valid records that reach deep decode paths) and the committed
+# golden fixture (pins the schedule to bytes that never change
+# between runs).
+half=$((seconds / 2))
+[ "$half" -lt 1 ] && half=1
+"$fuzz" fuzz "$corpus" "$half" "$seed"
+if [ -f "$repo_root/tests/data/golden.champsim" ]; then
+    "$fuzz" fuzz "$repo_root/tests/data/golden.champsim" \
+        "$half" "$seed"
+fi
+
+echo "fuzz_trace: pass (no crashes, hangs or unclassified escapes)"

@@ -49,6 +49,7 @@
 #include "core/snapshot.hh"
 #include "core/supervisor.hh"
 #include "core/tracer.hh"
+#include "trace/champsim_reader.hh"
 #include "trace/library.hh"
 #include "service/protocol.hh"
 #include "trace/serialize.hh"
@@ -88,7 +89,27 @@ usage(FILE *out, int code, const char *argv0)
         "  --trace NAME          named synthetic trace (e.g. wd, gcc,"
         " swim, tpcc)\n"
         "  --trace-file PATH     run a serialised trace file instead\n"
+        "  --champsim PATH       ingest a raw ChampSim input_instr "
+        "trace ('-' reads\n"
+        "                        stdin); hostile-input-proof — see "
+        "docs/TRACES.md\n"
+        "                        (--len bounds the instruction count; "
+        "--recover and\n"
+        "                        --bad-record-budget apply)\n"
+        "  --max-pages N         refuse a ChampSim trace touching more "
+        "distinct 4KiB\n"
+        "                        pages (default 1048576)\n"
+        "  --max-file-bytes N    refuse a ChampSim source larger than "
+        "N bytes\n"
+        "                        (default 2147483648)\n"
         "  --len N               uops to generate (default 200000)\n"
+        "  --families            run the adversarial workload families "
+        "(spoiler4k,\n"
+        "                        flipper, gcmark) under a "
+        "predictor-active machine\n"
+        "                        and report per-family CHT/HMP/bank "
+        "accuracy (adds a\n"
+        "                        \"families\" block to --json)\n"
         "  --scheme S            traditional|opportunistic|postponing|"
         "inclusive|\n"
         "                        exclusive|perfect|storebarrier|storesets\n"
@@ -189,6 +210,11 @@ usage(FILE *out, int code, const char *argv0)
         "(LRS_AUDIT=1)\n"
         "  --audit-interval N    audit every N cycles (implies "
         "--audit; default 8192)\n"
+        "  --mob-partial-bits N  MOB partial-address disambiguation "
+        "width (0 = full\n"
+        "                        addresses; 6..48 enables the 4K-alias "
+        "stall model\n"
+        "                        and the mob.partial_* counters)\n"
         "  --recover             skip malformed trace records instead "
         "of aborting\n"
         "  --bad-record-budget N abort after N skipped records "
@@ -662,6 +688,71 @@ runBatch(const std::string &path, unsigned jobs_flag,
     return any_gave_up ? kExitRuntime : kExitOk;
 }
 
+/**
+ * --families: run every adversarial workload family under a machine
+ * with all three predictors engaged (CHT-based Inclusive ordering,
+ * chooser HMP, sliced banks with the stride bank predictor) and report
+ * how each predictor holds up per family. These workloads are built to
+ * strain specific predictors — spoiler4k floods the CHT with
+ * 4K-aliasing store/load fans, flipper phase-inverts collision and
+ * hit/miss behaviour, gcmark drags a pointer-chase through a
+ * cache-hostile footprint — so the per-family accuracy triple is the
+ * robustness profile the JSON "families" block exports.
+ */
+int
+runFamilies(MachineConfig cfg, std::uint64_t len,
+            const std::string &json_path)
+{
+    cfg.scheme = OrderingScheme::Inclusive;
+    cfg.hmp = HmpKind::Chooser;
+    cfg.bankMode = BankMode::Sliced;
+    cfg.bankPred = BankPredKind::Addr;
+    cfg.validateOrThrow();
+
+    const auto ratio = [](std::uint64_t n, std::uint64_t d) {
+        return d ? static_cast<double>(n) / static_cast<double>(d)
+                 : 0.0;
+    };
+
+    TextTable t({"family", "cycles", "IPC", "CHT acc", "HMP acc",
+                 "bank acc"});
+    json::Value fam = json::Value::object();
+    for (const std::string &name :
+         TraceLibrary::names(TraceGroup::Adversarial)) {
+        const auto trace =
+            TraceLibrary::make(TraceLibrary::byName(name, len));
+        OooCore core(cfg);
+        const SimResult r = core.run(*trace);
+        const std::uint64_t cls = r.classifiedLoads();
+        const std::uint64_t hm = r.ahPh + r.ahPm + r.amPh + r.amPm;
+        const double cht_acc = ratio(r.ancPnc + r.acPc, cls);
+        const double hmp_acc = ratio(r.ahPh + r.amPm, hm);
+        const double bank_acc =
+            r.loads ? 1.0 - ratio(r.bankMispredicts, r.loads) : 0.0;
+        t.startRow();
+        t.cell(name);
+        t.cell(strprintf(
+            "%llu", static_cast<unsigned long long>(r.cycles)));
+        t.cell(r.ipc(), 2);
+        t.cell(cht_acc, 4);
+        t.cell(hmp_acc, 4);
+        t.cell(bank_acc, 4);
+        json::Value f = json::Value::object();
+        f.set("cht_accuracy", cht_acc);
+        f.set("hmp_accuracy", hmp_acc);
+        f.set("bank_accuracy", bank_acc);
+        f.set("result", r.toJson());
+        fam.set(name, std::move(f));
+    }
+    t.print(json_path == "-" ? std::cerr : std::cout);
+    if (!json_path.empty()) {
+        json::Value doc = json::Value::object();
+        doc.set("families", std::move(fam));
+        emitJson(json_path, doc);
+    }
+    return kExitOk;
+}
+
 /** Connect to an lrs_simd service: a '/' marks a Unix socket path,
  *  anything else is host:port. Throws IoError (exit code 4). */
 int
@@ -766,11 +857,26 @@ runClient(const std::string &addr, const std::string &batch_path,
                                    std::strerror(err) + ")"));
     }
 
+    // Bound the readline buffer: a result record is a single compact
+    // JSON line, far under this cap. A peer (or a mis-pointed
+    // connection to something that is not lrs_simd) streaming an
+    // endless newline-free byte flood must produce a classified
+    // protocol error, not an unbounded allocation.
+    constexpr std::size_t kMaxLineBytes = 16u << 20;
     std::string buf;
     char tmp[65536];
     while (true) {
         const std::size_t pos = buf.find('\n');
         if (pos == std::string::npos) {
+            if (buf.size() > kMaxLineBytes) {
+                ::close(fd);
+                throw IoError(makeDiag(
+                    DiagCode::ProtocolError, "lrs_sim", "submit",
+                    "service sent " + std::to_string(buf.size()) +
+                        " bytes without a newline (line cap " +
+                        std::to_string(kMaxLineBytes) +
+                        "); is this really an lrs_simd endpoint?"));
+            }
             const ssize_t n = ::read(fd, tmp, sizeof(tmp));
             if (n < 0 && errno == EINTR)
                 continue;
@@ -847,6 +953,9 @@ main(int argc, char **argv)
 {
     std::string trace_name = "wd";
     std::string trace_file;
+    std::string champsim_file;
+    bool families = false;
+    ChampSimReadOptions cs_opts;
     std::string dump_path;
     std::string json_path;
     std::string trace_events_path;
@@ -902,6 +1011,15 @@ main(int argc, char **argv)
             };
             if (a == "--trace") trace_name = next();
             else if (a == "--trace-file") trace_file = next();
+            else if (a == "--champsim") champsim_file = next();
+            else if (a == "--families") families = true;
+            else if (a == "--max-pages")
+                cs_opts.maxPages = std::stoull(next());
+            else if (a == "--max-file-bytes")
+                cs_opts.maxFileBytes = std::stoull(next());
+            else if (a == "--mob-partial-bits")
+                cfg.mobPartialBits =
+                    static_cast<unsigned>(std::stoul(next()));
             else if (a == "--len") len = std::stoull(next());
             else if (a == "--scheme") cfg.scheme = parseOrderingScheme(next());
             else if (a == "--hmp") cfg.hmp = parseHmpKind(next());
@@ -1003,6 +1121,31 @@ main(int argc, char **argv)
             JournalReadStats jst;
             const std::vector<json::Value> recs =
                 readJournal(check_journal_path, &jst);
+            // Wrong-format diagnosis before damage accounting: a file
+            // with zero valid records that does not even open with
+            // the "LRSJ1 " magic was never a journal — and the most
+            // common mix-up is pointing this at a raw ChampSim trace.
+            // (A real journal whose every record is damaged still
+            // starts with the magic and gets the damage report.)
+            if (recs.empty() && jst.badLines) {
+                char magic[6] = {};
+                std::ifstream head(check_journal_path,
+                                   std::ios::binary);
+                head.read(magic, sizeof(magic));
+                if (head.gcount() < 6 ||
+                    std::memcmp(magic, "LRSJ1 ", 6) != 0) {
+                    const bool champsim =
+                        looksLikeChampSimFile(check_journal_path);
+                    std::fprintf(
+                        stderr, "%s: not an LRSJ1 file%s\n",
+                        check_journal_path.c_str(),
+                        champsim
+                            ? " (looks like a raw ChampSim trace; "
+                              "run it with --champsim instead)"
+                            : "");
+                    return kExitRuntime;
+                }
+            }
             // A machine snapshot announces itself in its first
             // record; those get the full strict structural check on
             // top of line-level CRC validation.
@@ -1040,11 +1183,15 @@ main(int argc, char **argv)
                 std::fprintf(
                     stderr,
                     "%s: %llu damaged line(s), %llu byte(s) "
-                    "dropped%s\n",
+                    "dropped%s; first damaged record: line %llu, "
+                    "byte offset %llu\n",
                     check_journal_path.c_str(),
                     static_cast<unsigned long long>(jst.badLines),
                     static_cast<unsigned long long>(jst.droppedBytes),
-                    jst.truncatedTail ? " (torn tail)" : "");
+                    jst.truncatedTail ? " (torn tail)" : "",
+                    static_cast<unsigned long long>(jst.firstBadLine),
+                    static_cast<unsigned long long>(
+                        jst.firstBadOffset));
                 return kExitRuntime;
             }
             return kExitOk;
@@ -1080,6 +1227,9 @@ main(int argc, char **argv)
                             cfg.collectHistograms, profile,
                             flight_dir, validate_snapshot);
 
+        if (families)
+            return runFamilies(cfg, len, json_path);
+
         if (inject_trace_faults && fault_cfg.traceRate <= 0.0)
             fault_cfg.traceRate = 0.01;
 
@@ -1087,7 +1237,22 @@ main(int argc, char **argv)
         TraceReadStats read_stats;
 
         std::unique_ptr<VecTrace> trace;
-        if (!trace_file.empty())
+        ChampSimTraceInfo cs_info;
+        if (!champsim_file.empty()) {
+            cs_opts.read = read_opts;
+            cs_opts.maxInstructions = len;
+            trace = readChampSimFile(champsim_file, cs_opts,
+                                     &read_stats, &cs_info);
+            std::fprintf(
+                stderr,
+                "champsim: %llu instruction(s) -> %zu uops, %llu "
+                "byte(s), %llu page(s), crc32 %08x\n",
+                static_cast<unsigned long long>(cs_info.instructions),
+                trace->size(),
+                static_cast<unsigned long long>(cs_info.bytes),
+                static_cast<unsigned long long>(cs_info.pages),
+                cs_info.crc);
+        } else if (!trace_file.empty())
             trace = readTraceFile(trace_file, read_opts, &read_stats);
         else
             trace = TraceLibrary::make(

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * lrs_tracefuzz — deterministic structure-aware fuzzer for the
+ * ChampSim trace reader (the hostile-input gate of docs/TRACES.md).
+ *
+ * Three modes:
+ *
+ *   lrs_tracefuzz gen OUT RECORDS SEED
+ *       Write a well-formed pseudo-random ChampSim trace (branch /
+ *       load / store / ALU mix) — the corpus generator, also used to
+ *       produce the committed golden fixture under tests/data/.
+ *
+ *   lrs_tracefuzz fuzz CORPUS SECONDS SEED
+ *       Time-bounded fuzzing: each iteration derives a mutant of the
+ *       corpus with 1..4 structure-aware mutations (bit flips, field
+ *       boundary values, record duplication/splice/zeroing, torn
+ *       tails, garbage appends) and feeds it to the reader in strict
+ *       AND recovery mode, under occasional adversarially small
+ *       resource caps. The reader must either return a trace or throw
+ *       a *classified* TraceError — any other escape (unclassified
+ *       exception, crash, hang, sanitizer finding) fails the gate.
+ *
+ *   lrs_tracefuzz once CORPUS ITER SEED
+ *       Re-run exactly iteration ITER of the fuzz schedule — the
+ *       reproducer: the failure report of `fuzz` names the iteration.
+ *
+ * Everything is keyed off (SEED, iteration): the schedule is
+ * deterministic, so a finding reproduces byte-for-byte with `once`.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/diag.hh"
+#include "trace/champsim_reader.hh"
+
+using namespace lrs;
+
+namespace
+{
+
+/** Deterministic engine: mt19937_64's sequence is pinned by the
+ *  standard, and we draw with modulo, never distributions. */
+std::uint64_t
+below(std::mt19937_64 &rng, std::uint64_t n)
+{
+    return n ? rng() % n : 0;
+}
+
+void
+writeRecord(std::vector<std::uint8_t> &out, std::uint64_t ip,
+            std::uint8_t is_branch, std::uint8_t taken,
+            const std::uint8_t dreg[2], const std::uint8_t sreg[4],
+            const std::uint64_t dmem[2], const std::uint64_t smem[4])
+{
+    std::uint8_t rec[kChampSimRecordBytes] = {};
+    std::memcpy(rec + 0, &ip, 8);
+    rec[8] = is_branch;
+    rec[9] = taken;
+    std::memcpy(rec + 10, dreg, 2);
+    std::memcpy(rec + 12, sreg, 4);
+    std::memcpy(rec + 16, dmem, 16);
+    std::memcpy(rec + 32, smem, 32);
+    out.insert(out.end(), rec, rec + kChampSimRecordBytes);
+}
+
+/** A plausible, varied instruction stream (every decode path). */
+std::vector<std::uint8_t>
+generate(std::uint64_t records, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint8_t> out;
+    out.reserve(records * kChampSimRecordBytes);
+    std::uint64_t ip = 0x400000;
+    for (std::uint64_t i = 0; i < records; ++i) {
+        ip += 4 + 4 * below(rng, 3);
+        const bool branch = below(rng, 10) == 0;
+        const std::uint8_t taken =
+            branch && below(rng, 5) < 3 ? 1 : 0;
+        std::uint8_t dreg[2] = {}, sreg[4] = {};
+        std::uint64_t dmem[2] = {}, smem[4] = {};
+        dreg[0] = static_cast<std::uint8_t>(below(rng, 64));
+        sreg[0] = static_cast<std::uint8_t>(below(rng, 64));
+        sreg[1] = static_cast<std::uint8_t>(below(rng, 30));
+        const std::uint64_t kind = below(rng, 10);
+        if (kind < 4) { // load
+            smem[0] = 0x10000 + below(rng, 1 << 14) * 8;
+            if (kind == 0)
+                smem[1] = 0x40000 + below(rng, 1 << 12) * 8;
+        } else if (kind < 6) { // store
+            dmem[0] = 0x80000 + below(rng, 1 << 14) * 8;
+        } else if (kind == 6) { // load+store (RMW)
+            smem[0] = 0x10000 + below(rng, 1 << 14) * 8;
+            dmem[0] = smem[0];
+        }
+        writeRecord(out, ip, branch ? 1 : 0, taken, dreg, sreg, dmem,
+                    smem);
+    }
+    return out;
+}
+
+/** One deterministic mutant of the corpus for (seed, iteration). */
+std::vector<std::uint8_t>
+mutate(const std::vector<std::uint8_t> &corpus, std::uint64_t seed,
+       std::uint64_t iter)
+{
+    // Key the engine off both, so `once` can replay any iteration
+    // without running the preceding ones.
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + iter);
+    std::vector<std::uint8_t> m = corpus;
+    const std::uint64_t mutations = 1 + below(rng, 4);
+    for (std::uint64_t k = 0; k < mutations && !m.empty(); ++k) {
+        switch (below(rng, 8)) {
+        case 0: { // single bit flip
+            const std::uint64_t off = below(rng, m.size());
+            m[off] ^= static_cast<std::uint8_t>(1u << below(rng, 8));
+            break;
+        }
+        case 1: { // random byte
+            m[below(rng, m.size())] =
+                static_cast<std::uint8_t>(rng());
+            break;
+        }
+        case 2: { // u64 field boundary value, 8-aligned
+            if (m.size() < 8)
+                break;
+            const std::uint64_t slot = below(rng, m.size() / 8);
+            static const std::uint64_t kEdge[] = {
+                0,  ~0ull, 0x8000000000000000ull, 1,
+                64, 0xffffffffull, 0x7fffffffffffffffull};
+            const std::uint64_t v = kEdge[below(rng, 7)];
+            std::memcpy(m.data() + slot * 8, &v, 8);
+            break;
+        }
+        case 3: { // duplicate one record over another
+            const std::uint64_t n = m.size() / kChampSimRecordBytes;
+            if (n < 2)
+                break;
+            const std::uint64_t src = below(rng, n);
+            const std::uint64_t dst = below(rng, n);
+            std::memcpy(m.data() + dst * kChampSimRecordBytes,
+                        m.data() + src * kChampSimRecordBytes,
+                        kChampSimRecordBytes);
+            break;
+        }
+        case 4: { // splice bytes out (tears the 64-byte framing)
+            const std::uint64_t at = below(rng, m.size());
+            const std::uint64_t cut =
+                1 + below(rng, std::min<std::uint64_t>(
+                                   96, m.size() - at));
+            m.erase(m.begin() + static_cast<std::ptrdiff_t>(at),
+                    m.begin() + static_cast<std::ptrdiff_t>(at + cut));
+            break;
+        }
+        case 5: { // truncate (torn tail)
+            m.resize(below(rng, m.size() + 1));
+            break;
+        }
+        case 6: { // append garbage
+            const std::uint64_t add = 1 + below(rng, 160);
+            for (std::uint64_t i = 0; i < add; ++i)
+                m.push_back(static_cast<std::uint8_t>(rng()));
+            break;
+        }
+        case 7: { // zero a whole record
+            const std::uint64_t n = m.size() / kChampSimRecordBytes;
+            if (n == 0)
+                break;
+            std::memset(m.data() +
+                            below(rng, n) * kChampSimRecordBytes,
+                        0, kChampSimRecordBytes);
+            break;
+        }
+        }
+    }
+    return m;
+}
+
+struct IterStats
+{
+    std::uint64_t ok = 0;
+    std::uint64_t traceErrors = 0;
+};
+
+/**
+ * Feed one mutant through the reader, strict then recovery, with the
+ * occasional adversarially small cap. Returns false (after printing a
+ * reproducer line) on any non-classified escape.
+ */
+bool
+runOne(const std::vector<std::uint8_t> &mutant, std::uint64_t seed,
+       std::uint64_t iter, IterStats &st)
+{
+    std::mt19937_64 rng(seed * 0x2545f4914f6cdd1dull + iter);
+    for (const bool recover : {false, true}) {
+        ChampSimReadOptions opts;
+        opts.read.recover = recover;
+        if (below(rng, 4) == 0)
+            opts.read.badRecordBudget = below(rng, 32);
+        if (below(rng, 4) == 0)
+            opts.maxInstructions = below(rng, 64);
+        if (below(rng, 4) == 0)
+            opts.maxPages = 1 + below(rng, 16);
+        if (below(rng, 4) == 0)
+            opts.maxFileBytes = below(rng, 8192);
+        std::string bytes(
+            reinterpret_cast<const char *>(mutant.data()),
+            mutant.size());
+        std::istringstream is(std::move(bytes));
+        try {
+            const auto trace = readChampSimTrace(
+                is, "fuzz", opts, nullptr, nullptr);
+            // The decoded stream must honour the structural
+            // invariants the core relies on (uop count bound per
+            // record; STA/STD pairing is asserted inside the core).
+            if (trace->size() >
+                (mutant.size() / kChampSimRecordBytes + 1) * 13) {
+                std::fprintf(stderr,
+                             "FAIL iter %llu: %zu uops from %zu "
+                             "bytes breaks the per-record bound\n",
+                             static_cast<unsigned long long>(iter),
+                             trace->size(), mutant.size());
+                return false;
+            }
+            ++st.ok;
+        } catch (const TraceError &) {
+            ++st.traceErrors; // classified: the contract
+        } catch (const std::exception &e) {
+            std::fprintf(
+                stderr,
+                "FAIL iter %llu (recover=%d): unclassified "
+                "exception: %s\nreproduce: lrs_tracefuzz once "
+                "CORPUS %llu SEED\n",
+                static_cast<unsigned long long>(iter), recover ? 1 : 0,
+                e.what(), static_cast<unsigned long long>(iter));
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const std::string s = ss.str();
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto usage = [&] {
+        std::fprintf(stderr,
+                     "usage: %s gen OUT RECORDS SEED\n"
+                     "       %s fuzz CORPUS SECONDS SEED\n"
+                     "       %s once CORPUS ITER SEED\n",
+                     argv[0], argv[0], argv[0]);
+        return 2;
+    };
+    if (argc != 5)
+        return usage();
+    const std::string mode = argv[1];
+    const std::string path = argv[2];
+    const std::uint64_t n = std::strtoull(argv[3], nullptr, 10);
+    const std::uint64_t seed = std::strtoull(argv[4], nullptr, 10);
+
+    if (mode == "gen") {
+        const std::vector<std::uint8_t> bytes = generate(n, seed);
+        std::ofstream os(path, std::ios::binary);
+        os.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+        if (!os) {
+            std::fprintf(stderr, "write failed: %s\n", path.c_str());
+            return 2;
+        }
+        std::printf("wrote %zu bytes (%llu records) to %s\n",
+                    bytes.size(), static_cast<unsigned long long>(n),
+                    path.c_str());
+        return 0;
+    }
+
+    const std::vector<std::uint8_t> corpus = readFile(path);
+    if (mode == "once") {
+        IterStats st;
+        const bool ok =
+            runOne(mutate(corpus, seed, n), seed, n, st);
+        std::printf("iter %llu: %s\n",
+                    static_cast<unsigned long long>(n),
+                    ok ? "ok" : "FAILED");
+        return ok ? 0 : 1;
+    }
+    if (mode != "fuzz")
+        return usage();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    IterStats st;
+    std::uint64_t iter = 0;
+    while (std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+               .count() < static_cast<double>(n)) {
+        if (!runOne(mutate(corpus, seed, iter), seed, iter, st))
+            return 1;
+        ++iter;
+    }
+    std::printf("fuzzed %llu iteration(s) in %llus: %llu clean "
+                "decode(s), %llu classified rejection(s), 0 escapes\n",
+                static_cast<unsigned long long>(iter),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(st.ok),
+                static_cast<unsigned long long>(st.traceErrors));
+    return 0;
+}

@@ -52,6 +52,10 @@ if [ "$mode" = "tsan" ]; then
     # byte-identity, docs/SERVICE.md) still run and race the event
     # loop + scheduler threads under TSan.
     "$repo_root/tools/chaos_sweep.sh" --no-isolate "$build_dir"
+    # Short hostile-input fuzz leg: the reader is single-threaded, so
+    # this is a smoke check that the fuzz harness itself is
+    # race-clean, not the main fuzz gate (that is the ASan leg).
+    "$repo_root/tools/fuzz_trace.sh" "$build_dir" 10 1
 else
     ctest --test-dir "$build_dir" --output-on-failure -j \
         "$(nproc 2>/dev/null || echo 4)" "$@"
@@ -60,6 +64,10 @@ else
     # into its own report, while SIGKILL drives the identical CRASHED
     # bookkeeping uninstrumented.
     LRS_CHAOS_CRASH_SIG=9 "$repo_root/tools/chaos_sweep.sh" "$build_dir"
+    # Hostile-input gate (docs/TRACES.md): >= 60 s of structure-aware
+    # trace fuzzing under ASan/UBSan; any sanitizer report, crash or
+    # unclassified exception fails the run.
+    "$repo_root/tools/fuzz_trace.sh" "$build_dir" 60 1
 fi
 # Telemetry-off byte-identity gate under the sanitized binary (the
 # simulated output is deterministic regardless of instrumentation).
