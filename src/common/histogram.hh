@@ -66,6 +66,26 @@ class Log2Histogram
         ++buckets_[bucketOf(v)];
     }
 
+    /**
+     * Record @p n identical samples of value @p v in O(1). Exactly
+     * equivalent (including modulo-2^64 sum wrapping) to calling
+     * record(v) @p n times — the bulk-accounting primitive the core's
+     * idle-cycle skip-ahead relies on (docs/PERFORMANCE.md).
+     */
+    void
+    record(std::uint64_t v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        count_ += n;
+        sum_ += v * n;
+        buckets_[bucketOf(v)] += n;
+    }
+
     /** Element-wise exact add of @p other into this histogram. */
     void merge(const Log2Histogram &other);
 

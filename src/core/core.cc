@@ -86,7 +86,12 @@ validated(const MachineConfig &cfg)
 OooCore::OooCore(const MachineConfig &cfg)
     : cfg_(validated(cfg)), mem_(cfg.mem),
       branchPred_(cfg.branchHistBits, 2, /*initial=weakly taken*/ 2),
-      rob_(cfg.robSize),
+      rob_(cfg.robSize), robSeq_(cfg.robSize, 0),
+      robState_(cfg.robSize, State::Waiting),
+      robEst_(cfg.robSize, kCycleNever),
+      robActual_(cfg.robSize, kCycleNever),
+      robComplete_(cfg.robSize, kCycleNever),
+      robStall_(cfg.robSize, 0),
       renameTable_(kNumArchRegs, -1), renameSeq_(kNumArchRegs, 0)
 {
     if (cfg_.usesCht() || cfg_.chtShadow) {
@@ -291,20 +296,31 @@ OooCore::beginRun(TraceStream &trace)
     iv_.countdown = cfg_.statsInterval;
     auditCountdown_ = cfg_.auditInterval;
 
-    if (cfg_.collectHistograms) {
-        hLoadUse_->reset();
-        hReplayDist_->reset();
-        hOccSched_->reset();
-        hOccRob_->reset();
-        hOccMob_->reset();
-        hChtConf_->reset();
-        hHmpConf_->reset();
-    }
+    resetHistograms();
+}
+
+void
+OooCore::resetHistograms()
+{
+    // The single reset path for all seven distributions: beginRun()
+    // and every loadState() branch that does not restore a complete
+    // "hist" section route through here, so a run can never start (or
+    // resume) with counts seeded from an earlier run on this core.
+    if (!cfg_.collectHistograms)
+        return; // pointers are null; nothing exists to carry over
+    hLoadUse_->reset();
+    hReplayDist_->reset();
+    hOccSched_->reset();
+    hOccRob_->reset();
+    hOccMob_->reset();
+    hChtConf_->reset();
+    hHmpConf_->reset();
 }
 
 bool
 OooCore::advanceTo(TraceStream &trace, Cycle stop_at)
 {
+    const bool skip_ahead = cycleSkipAhead();
     while (!traceDone_ || headSeq_ != nextSeq_) {
         // Side-effect-free stop check first: state on return is bit-
         // identical to an uninterrupted run entering cycle stop_at.
@@ -329,6 +345,7 @@ OooCore::advanceTo(TraceStream &trace, Cycle stop_at)
                 DiagCode::Interrupted, "core", "",
                 "simulation interrupted by request", now_));
         }
+        cycleActivity_ = 0;
         {
             prof::Scope ps(prof::Stage::Execute);
             resolvePendingCollisions();
@@ -363,11 +380,118 @@ OooCore::advanceTo(TraceStream &trace, Cycle stop_at)
             auditNow();
             auditCountdown_ = cfg_.auditInterval;
         }
-        // A stuck machine is a simulator bug; fail loudly.
-        assert(now_ < (trace.size() + 1000) * 64 &&
+
+        // Idle-cycle skip-ahead (docs/PERFORMANCE.md). A cycle that
+        // mutated nothing leaves the machine frozen: every stage is a
+        // pure function of state and now_, and every now_ comparison
+        // is a monotone threshold, so cycles keep mutating nothing
+        // until the earliest threshold is crossed. Jump there in one
+        // step, replaying the per-cycle accounting above in bulk —
+        // arithmetically identical to stepping (frozen occupancies
+        // recorded k times are one record(v, k)). The jump target is
+        // clamped so every scheduled boundary (stop_at, the cycle
+        // deadline, the 16K interrupt poll, interval snapshots, audit
+        // cadence) still fires at exactly the cycle it would have;
+        // clamp landings re-detect idleness and skip again. Cycles on
+        // a 16K poll boundary never start a skip: the next loop
+        // iteration must run its top-of-loop poll first.
+        if (skip_ahead && cycleActivity_ == 0 &&
+            (now_ & 0x3FFF) != 0 && now_ < stop_at &&
+            (!cfg_.maxCycles || now_ < cfg_.maxCycles) &&
+            (!traceDone_ || headSeq_ != nextSeq_)) {
+            const Cycle event = nextEventCycle();
+            if (event != kCycleNever) {
+                Cycle target = std::min(event, stop_at);
+                if (cfg_.maxCycles)
+                    target = std::min(target, cfg_.maxCycles);
+                target = std::min(
+                    target, ((now_ >> 14) + 1) << 14); // next poll
+                if (cfg_.statsInterval)
+                    target = std::min(target, now_ + iv_.countdown);
+                if (cfg_.auditInterval)
+                    target = std::min(target, now_ + auditCountdown_);
+                const Cycle k = target - now_;
+                if (k > 0) {
+                    if (hOccSched_) {
+                        hOccSched_->record(
+                            static_cast<std::uint64_t>(rsCount_), k);
+                        hOccRob_->record(nextSeq_ - headSeq_, k);
+                        hOccMob_->record(mob_.size(), k);
+                    }
+                    if (cfg_.statsInterval) {
+                        iv_.occSched +=
+                            k * static_cast<std::uint64_t>(rsCount_);
+                        iv_.occRob += k * (nextSeq_ - headSeq_);
+                        iv_.countdown -= k;
+                    }
+                    if (cfg_.auditInterval)
+                        auditCountdown_ -= k;
+                    now_ = target;
+                    if (cfg_.statsInterval && iv_.countdown == 0) {
+                        snapshotInterval();
+                        iv_.countdown = cfg_.statsInterval;
+                    }
+                    if (cfg_.auditInterval && auditCountdown_ == 0) {
+                        auditNow();
+                        auditCountdown_ = cfg_.auditInterval;
+                    }
+                }
+            }
+        }
+        // A stuck machine is a simulator bug; fail loudly. The bound
+        // is per-uop amortized and must scale with the configured
+        // memory latency: a fixed 64 cycles/uop false-fires on slow
+        // hierarchies (e.g. memLatency 2000 pointer chases) that are
+        // making perfectly sound forward progress.
+        assert(now_ < (trace.size() + 1000) *
+                          (64 + cfg_.mem.memLatency) &&
                "simulated core appears deadlocked");
     }
     return true;
+}
+
+Cycle
+OooCore::nextEventCycle() const
+{
+    Cycle event = kCycleNever;
+    // now_ is the next cycle to execute (the skip decision runs after
+    // ++now_), and every gate activates the cycle it compares equal —
+    // "completeAt <= now" retires at exactly completeAt — so a
+    // threshold equal to now_ is an event for the pending cycle, not a
+    // past one. It yields k == 0: no skip, step normally.
+    const auto consider = [&event, this](Cycle c) {
+        if (c != kCycleNever && c >= now_ && c < event)
+            event = c;
+    };
+    // Fetch resumes at fetchBlockedUntil_ — but only if something is
+    // fetchable then: with the trace drained nothing arrives, and
+    // with a mispredicted branch pending the unblock is driven by the
+    // branch's own issue (covered by its slot thresholds below).
+    if (!traceDone_ && !branchPending_)
+        consider(fetchBlockedUntil_);
+    // Every in-flight slot's time thresholds: replay backoff and
+    // wakeup estimate gate issue, actual readiness gates the
+    // burn-vs-issue decision, completion gates retirement (and store
+    // completion queries against the MOB, whose STA/STD timestamps
+    // are set from these same issue events).
+    for (SeqNum s = headSeq_; s != nextSeq_; ++s) {
+        const int slot = slotOf(s);
+        if (robState_[slot] == State::Waiting)
+            consider(robStall_[slot]);
+        consider(robEst_[slot]);
+        consider(robActual_[slot]);
+        consider(robComplete_[slot]);
+    }
+    // Belt and braces: in-window stores' STA/STD completion times.
+    // Every future one is mirrored by an in-flight STA/STD uop's
+    // completeAt above, but the scan is cheap and an underestimate
+    // only costs one extra (idle) stepped cycle.
+    for (std::size_t i = 0, n = mob_.size(); i < n; ++i) {
+        const Mob::StoreRec &r = mob_.storeAt(i);
+        consider(r.staDoneAt);
+        consider(r.stdDoneAt);
+    }
+    return event;
 }
 
 SimResult
@@ -451,18 +575,22 @@ OooCore::saveState() const
     // restoring them byte-for-byte sidesteps any reasoning about
     // which stale fields those guards may read.
     json::Value rob = json::Value::array();
-    for (const RobEntry &e : rob_) {
+    for (std::size_t s = 0; s < rob_.size(); ++s) {
+        const RobEntry &e = rob_[s];
         json::Value row = json::Value::array();
-        row.push(packU(e.seq));
-        row.push(packU(static_cast<std::uint64_t>(e.state)));
+        // Field order is the on-disk format: the first ten positions
+        // predate the SoA split and now interleave array lanes with
+        // cold record fields.
+        row.push(packU(robSeq_[s]));
+        row.push(packU(static_cast<std::uint64_t>(robState_[s])));
         row.push(packI(e.src1Slot));
         row.push(packI(e.src2Slot));
         row.push(packU(e.src1Seq));
         row.push(packU(e.src2Seq));
-        row.push(packU(e.estReady));
-        row.push(packU(e.actualReady));
-        row.push(packU(e.completeAt));
-        row.push(packU(e.stallUntil));
+        row.push(packU(robEst_[s]));
+        row.push(packU(robActual_[s]));
+        row.push(packU(robComplete_[s]));
+        row.push(packU(robStall_[s]));
         row.push(packB(e.everWasted));
         row.push(packU(static_cast<std::uint64_t>(e.cls)));
         row.push(packB(e.predColliding));
@@ -591,19 +719,19 @@ OooCore::loadState(const json::Value &state, TraceStream &trace)
         if (!row.isArray() || row.size() != kRobEntryArity)
             stateio::fail("rob", "malformed ROB entry row");
         RobEntry &e = rob_[s];
-        e.seq = row.at(0).asU64();
+        robSeq_[s] = row.at(0).asU64();
         const std::uint64_t stv = row.at(1).asU64();
         if (stv > static_cast<std::uint64_t>(State::Issued))
             stateio::fail("rob", "entry state out of range");
-        e.state = static_cast<State>(stv);
+        robState_[s] = static_cast<State>(stv);
         e.src1Slot = static_cast<int>(row.at(2).asI64());
         e.src2Slot = static_cast<int>(row.at(3).asI64());
         e.src1Seq = row.at(4).asU64();
         e.src2Seq = row.at(5).asU64();
-        e.estReady = row.at(6).asU64();
-        e.actualReady = row.at(7).asU64();
-        e.completeAt = row.at(8).asU64();
-        e.stallUntil = row.at(9).asU64();
+        robEst_[s] = row.at(6).asU64();
+        robActual_[s] = row.at(7).asU64();
+        robComplete_[s] = row.at(8).asU64();
+        robStall_[s] = row.at(9).asU64();
         e.everWasted = loadBool(row, 10);
         const std::uint64_t clv = row.at(11).asU64();
         if (clv > static_cast<std::uint64_t>(LoadClass::Colliding))
@@ -682,28 +810,44 @@ OooCore::loadState(const json::Value &state, TraceStream &trace)
 
     if (cfg_.collectHistograms) {
         if (const json::Value *h = state.find("hist")) {
-            *hLoadUse_ =
-                Log2Histogram::fromJson(stateio::need(*h, "load_to_use"));
-            *hReplayDist_ = Log2Histogram::fromJson(
+            // All seven distributions restore atomically or the load
+            // fails: a partial section would leave some histograms
+            // carrying this core's previous-run counts next to the
+            // snapshot's — exactly the donor-seeded mixture the
+            // strict contract forbids. Restore into temporaries
+            // first so a throw mutates nothing.
+            if (!h->isObject() || h->size() != 7) {
+                stateio::fail("hist",
+                              "histogram section must contain exactly "
+                              "the seven known distributions");
+            }
+            Log2Histogram lu = Log2Histogram::fromJson(
+                stateio::need(*h, "load_to_use"));
+            Log2Histogram rd = Log2Histogram::fromJson(
                 stateio::need(*h, "replay_distance"));
-            *hOccSched_ =
-                Log2Histogram::fromJson(stateio::need(*h, "occ_sched"));
-            *hOccRob_ =
-                Log2Histogram::fromJson(stateio::need(*h, "occ_rob"));
-            *hOccMob_ =
-                Log2Histogram::fromJson(stateio::need(*h, "occ_mob"));
-            *hChtConf_ = Log2Histogram::fromJson(
+            Log2Histogram os = Log2Histogram::fromJson(
+                stateio::need(*h, "occ_sched"));
+            Log2Histogram orb = Log2Histogram::fromJson(
+                stateio::need(*h, "occ_rob"));
+            Log2Histogram om = Log2Histogram::fromJson(
+                stateio::need(*h, "occ_mob"));
+            Log2Histogram cc = Log2Histogram::fromJson(
                 stateio::need(*h, "cht_confidence"));
-            *hHmpConf_ = Log2Histogram::fromJson(
+            Log2Histogram hc = Log2Histogram::fromJson(
                 stateio::need(*h, "hmp_confidence"));
+            *hLoadUse_ = lu;
+            *hReplayDist_ = rd;
+            *hOccSched_ = os;
+            *hOccRob_ = orb;
+            *hOccMob_ = om;
+            *hChtConf_ = cc;
+            *hHmpConf_ = hc;
         } else {
-            hLoadUse_->reset();
-            hReplayDist_->reset();
-            hOccSched_->reset();
-            hOccRob_->reset();
-            hOccMob_->reset();
-            hChtConf_->reset();
-            hHmpConf_->reset();
+            // Snapshot written with histograms off, restored into a
+            // config newly enabling them (warm-fork): the donor has
+            // no distribution state, so this run's must start cold —
+            // never carry counts from whatever this core ran before.
+            resetHistograms();
         }
     }
 
@@ -751,11 +895,12 @@ OooCore::auditView() const
     v.poolUsed = poolUsed_;
     v.entries.reserve(nextSeq_ - headSeq_);
     for (SeqNum s = headSeq_; s < nextSeq_; ++s) {
-        const RobEntry &re = rob_[slotOf(s)];
+        const int slot = slotOf(s);
+        const RobEntry &re = rob_[slot];
         AuditView::Entry e;
-        e.seq = re.seq;
-        e.slot = slotOf(s);
-        e.waiting = re.state == State::Waiting;
+        e.seq = robSeq_[slot];
+        e.slot = slot;
+        e.waiting = robState_[slot] == State::Waiting;
         e.src1Slot = re.src1Slot;
         e.src2Slot = re.src2Slot;
         e.src1Seq = re.src1Seq;
@@ -765,8 +910,8 @@ OooCore::auditView() const
         v.entries.push_back(e);
     }
     v.mobStores.reserve(mob_.size());
-    for (const Mob::StoreRec &r : mob_.storeRecords())
-        v.mobStores.push_back(r.seq);
+    for (std::size_t i = 0, n = mob_.size(); i < n; ++i)
+        v.mobStores.push_back(mob_.storeAt(i).seq);
     return v;
 }
 
@@ -831,10 +976,9 @@ OooCore::srcEstimate(int slot, SeqNum seq) const
 {
     if (slot < 0)
         return 0;
-    const RobEntry &p = rob_[slot];
-    if (p.seq != seq || !inWindow(seq))
+    if (robSeq_[slot] != seq || !inWindow(seq))
         return 0; // producer retired: value architecturally ready
-    return p.estReady;
+    return robEst_[slot];
 }
 
 Cycle
@@ -842,10 +986,9 @@ OooCore::srcActual(int slot, SeqNum seq) const
 {
     if (slot < 0)
         return 0;
-    const RobEntry &p = rob_[slot];
-    if (p.seq != seq || !inWindow(seq))
+    if (robSeq_[slot] != seq || !inWindow(seq))
         return 0;
-    return p.actualReady;
+    return robActual_[slot];
 }
 
 void
@@ -853,25 +996,32 @@ OooCore::resolvePendingCollisions()
 {
     if (pendingCollision_.empty())
         return;
-    auto it = pendingCollision_.begin();
-    while (it != pendingCollision_.end()) {
-        RobEntry &e = rob_[*it];
+    // Stable swap-compact: one pass with a write cursor, keepers
+    // sliding left in their original order. The former middle-erase
+    // walk was O(n^2) in resolutions per cycle and made the surviving
+    // order an artifact of erase mechanics; resolution and retry
+    // order here is exactly arrival (push_back) order, pinned by the
+    // PendingCollisionOrder regression test.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < pendingCollision_.size(); ++r) {
+        const int slot = pendingCollision_[r];
+        RobEntry &e = rob_[slot];
         if (!e.waitingOnStore) {
-            it = pendingCollision_.erase(it);
-            continue;
+            ++cycleActivity_;
+            continue; // resolved elsewhere; drop the stale entry
         }
         const Mob::StoreRec *rec = mob_.get(e.waitStoreSeq);
         if (rec == nullptr) {
             // The store retired, so both its parts completed earlier;
             // release the load with the penalty from now.
-            e.actualReady = e.estReady = e.completeAt =
+            robActual_[slot] = robEst_[slot] = robComplete_[slot] =
                 now_ + cfg_.collisionPenalty;
             e.waitingOnStore = false;
             ++res_.forwarded;
-            traceUop(TraceEvent::Forward, e);
+            ++cycleActivity_;
+            traceUop(TraceEvent::Forward, slot);
             if (hLoadUse_)
-                hLoadUse_->record(e.completeAt - now_);
-            it = pendingCollision_.erase(it);
+                hLoadUse_->record(robComplete_[slot] - now_);
             continue;
         }
         if (rec->staDoneAt != kCycleNever &&
@@ -880,19 +1030,21 @@ OooCore::resolvePendingCollisions()
                 std::max(now_, std::max(rec->staDoneAt,
                                         rec->stdDoneAt)) +
                 cfg_.collisionPenalty + cfg_.mem.l1.latency;
-            e.actualReady = e.estReady = e.completeAt = data;
+            robActual_[slot] = robEst_[slot] = robComplete_[slot] =
+                data;
             e.waitingOnStore = false;
             ++res_.forwarded;
-            traceUop(TraceEvent::Forward, e);
+            ++cycleActivity_;
+            traceUop(TraceEvent::Forward, slot);
             if (hLoadUse_)
                 hLoadUse_->record(data - now_);
             if (e.violationSquash)
                 fetchBlockedUntil_ = std::max(fetchBlockedUntil_, data);
-            it = pendingCollision_.erase(it);
             continue;
         }
-        ++it;
+        pendingCollision_[w++] = slot;
     }
+    pendingCollision_.resize(w);
 }
 
 void
@@ -926,12 +1078,16 @@ OooCore::retireStage()
 {
     int retired = 0;
     while (headSeq_ != nextSeq_ && retired < cfg_.retireWidth) {
-        RobEntry &e = rob_[slotOf(headSeq_)];
-        if (e.state != State::Issued || e.completeAt > now_)
+        const int slot = slotOf(headSeq_);
+        RobEntry &e = rob_[slot];
+        if (robState_[slot] != State::Issued ||
+            robComplete_[slot] > now_) {
             break;
+        }
 
         ++res_.uops;
-        traceUop(TraceEvent::Retire, e);
+        ++cycleActivity_;
+        traceUop(TraceEvent::Retire, slot);
         const Uop &u = e.uop;
         if (u.isLoad()) {
             ++res_.loads;
@@ -974,9 +1130,10 @@ OooCore::retireStage()
 }
 
 bool
-OooCore::schemeAllowsLoad(const RobEntry &e) const
+OooCore::schemeAllowsLoad(int slot) const
 {
-    const SeqNum seq = e.seq;
+    const RobEntry &e = rob_[slot];
+    const SeqNum seq = robSeq_[slot];
     switch (cfg_.scheme) {
       case OrderingScheme::Traditional:
         return mob_.allOlderAddrKnown(seq, now_);
@@ -1025,35 +1182,40 @@ OooCore::schemeAllowsLoad(const RobEntry &e) const
 }
 
 void
-OooCore::classifyLoad(RobEntry &e)
+OooCore::classifyLoad(int slot)
 {
+    RobEntry &e = rob_[slot];
     if (e.cls != LoadClass::Unclassified)
         return;
+    const SeqNum seq = robSeq_[slot];
+    ++cycleActivity_; // the classification itself is a state change
     // Colliding: the youngest older store overlapping the load's
     // address is still incomplete — advancing the load would return
     // stale data and force a re-execution (the collision penalty).
     // This covers both the unknown-address case and the P6 "wrong
     // load-STD ordering" case (address known, data not).
     const Mob::StoreRec *m =
-        mob_.youngestOverlapOlder(e.seq, e.uop.addr, e.uop.memSize);
+        mob_.youngestOverlapOlder(seq, e.uop.addr, e.uop.memSize);
     if (m != nullptr && !m->completeAt(now_)) {
         e.cls = LoadClass::Colliding;
         e.actualDistance =
-            mob_.overlapDistance(e.seq, e.uop.addr, e.uop.memSize);
+            mob_.overlapDistance(seq, e.uop.addr, e.uop.memSize);
         return;
     }
     // Conflicting: some older store's address is unknown at the
     // load's first schedule opportunity (the paper's definition), so
     // the load cannot be proven independent yet.
-    if (mob_.anyUnknownAddrOlder(e.seq, now_))
+    if (mob_.anyUnknownAddrOlder(seq, now_))
         e.cls = LoadClass::ConflictNotColliding;
     else
         e.cls = LoadClass::NotConflicting;
 }
 
 void
-OooCore::executeLoad(RobEntry &e)
+OooCore::executeLoad(int slot)
 {
+    RobEntry &e = rob_[slot];
+    const SeqNum seq = robSeq_[slot];
     const Uop &u = e.uop;
     // Train the bank predictor as soon as the address generates —
     // waiting for retirement would leave in-flight instances of the
@@ -1077,13 +1239,13 @@ OooCore::executeLoad(RobEntry &e)
     // re-execution penalty before proceeding. Off by default (bits=0),
     // keeping the full-address timing byte-identical.
     if (cfg_.mobPartialBits != 0 &&
-        mob_.partialAliasOlder(e.seq, u.addr, u.memSize, now_)) {
+        mob_.partialAliasOlder(seq, u.addr, u.memSize, now_)) {
         agu_done += cfg_.collisionPenalty;
     }
 
     // Consult the MOB with oracle addresses for the ordering outcome.
     const Mob::StoreRec *m =
-        mob_.youngestOverlapOlder(e.seq, u.addr, u.memSize);
+        mob_.youngestOverlapOlder(seq, u.addr, u.memSize);
 
     bool actual_miss = false;
     bool lazy = false;
@@ -1103,13 +1265,13 @@ OooCore::executeLoad(RobEntry &e)
                 // Correct pairing: the data really is the load's.
                 data = agu_done + l1_lat;
                 ++res_.forwarded;
-                traceUop(TraceEvent::Forward, e);
+                traceUop(TraceEvent::Forward, slot);
             } else {
                 // Wrong pairing: detected when the pair's STA
                 // resolves; the load (and its slice) re-executes.
                 ++res_.specMisforwards;
                 ++res_.collisionPenalties;
-                traceUop(TraceEvent::Squash, e);
+                traceUop(TraceEvent::Squash, slot);
                 e.collisionPenalized = true;
                 if (m != nullptr && (m->staDoneAt == kCycleNever ||
                                      m->stdDoneAt == kCycleNever)) {
@@ -1117,7 +1279,7 @@ OooCore::executeLoad(RobEntry &e)
                     e.waitingOnStore = true;
                     e.violationSquash = true;
                     e.waitStoreSeq = m->seq;
-                    pendingCollision_.push_back(slotOf(e.seq));
+                    pendingCollision_.push_back(slot);
                 } else if (m != nullptr) {
                     // Real producer is another (complete) store.
                     data = std::max(agu_done,
@@ -1128,7 +1290,7 @@ OooCore::executeLoad(RobEntry &e)
                     fetchBlockedUntil_ =
                         std::max(fetchBlockedUntil_, data);
                     ++res_.forwarded;
-                    traceUop(TraceEvent::Forward, e);
+                    traceUop(TraceEvent::Forward, slot);
                 } else {
                     // Real value comes from memory: re-executed
                     // access after the penalty.
@@ -1149,7 +1311,7 @@ OooCore::executeLoad(RobEntry &e)
         // Clean store-to-load forwarding.
         data = agu_done + l1_lat;
         ++res_.forwarded;
-        traceUop(TraceEvent::Forward, e);
+        traceUop(TraceEvent::Forward, slot);
     } else if (m) {
         // The load was scheduled against an incomplete store it
         // depends on: the wrong-ordering case. Its data is delayed to
@@ -1168,7 +1330,7 @@ OooCore::executeLoad(RobEntry &e)
         const bool violation = !m->addrKnownAt(now_);
         if (violation) {
             ++res_.orderViolations;
-            traceUop(TraceEvent::Squash, e);
+            traceUop(TraceEvent::Squash, slot);
         }
         // The dependence baselines train on the stores that caused
         // wrong ordering.
@@ -1187,7 +1349,7 @@ OooCore::executeLoad(RobEntry &e)
                                 cfg_.collisionPenalty) +
                    l1_lat;
             ++res_.forwarded;
-            traceUop(TraceEvent::Forward, e);
+            traceUop(TraceEvent::Forward, slot);
             if (violation) {
                 // Detected when the STA executes; the squash-and-
                 // refetch recovery keeps the front end from making
@@ -1200,7 +1362,7 @@ OooCore::executeLoad(RobEntry &e)
             e.waitingOnStore = true;
             e.violationSquash = violation;
             e.waitStoreSeq = m->seq;
-            pendingCollision_.push_back(slotOf(e.seq));
+            pendingCollision_.push_back(slot);
         }
     } else {
         // Normal cache access.
@@ -1284,75 +1446,80 @@ OooCore::executeLoad(RobEntry &e)
 
     if (lazy) {
         // Wakeup blocked until the colliding store completes.
-        e.estReady = e.actualReady = e.completeAt = kCycleNever;
+        robEst_[slot] = robActual_[slot] = robComplete_[slot] =
+            kCycleNever;
         return;
     }
 
     if (hLoadUse_)
         hLoadUse_->record(data - now_);
 
-    e.actualReady = e.completeAt = data;
+    robActual_[slot] = robComplete_[slot] = data;
     if (!pred_miss) {
         // Scheduler assumes an L1 hit; consumers wake speculatively.
-        e.estReady = agu_done + l1_lat;
+        robEst_[slot] = agu_done + l1_lat;
     } else if (actual_miss) {
         // Caught miss: consumers wake exactly when the data lands.
-        e.estReady = data;
+        robEst_[slot] = data;
     } else {
         // AH-PM: consumers wait for the hit indication.
-        e.estReady = data + cfg_.ahpmPenalty;
+        robEst_[slot] = data + cfg_.ahpmPenalty;
     }
 }
 
 void
-OooCore::issueEntry(RobEntry &e)
+OooCore::issueEntry(int slot)
 {
+    RobEntry &e = rob_[slot];
     const Uop &u = e.uop;
-    e.state = State::Issued;
+    robState_[slot] = State::Issued;
     --rsCount_;
-    traceUop(TraceEvent::Issue, e);
+    ++cycleActivity_;
+    traceUop(TraceEvent::Issue, slot);
 
     switch (u.cls) {
       case UopClass::IntAlu:
-        e.actualReady = e.estReady = e.completeAt = now_ + cfg_.intLat;
+        robActual_[slot] = robEst_[slot] = robComplete_[slot] =
+            now_ + cfg_.intLat;
         break;
       case UopClass::FpAlu:
-        e.actualReady = e.estReady = e.completeAt = now_ + cfg_.fpLat;
+        robActual_[slot] = robEst_[slot] = robComplete_[slot] =
+            now_ + cfg_.fpLat;
         break;
       case UopClass::Complex:
-        e.actualReady = e.estReady = e.completeAt =
+        robActual_[slot] = robEst_[slot] = robComplete_[slot] =
             now_ + cfg_.complexLat;
         break;
       case UopClass::Branch:
-        e.actualReady = e.estReady = e.completeAt =
+        robActual_[slot] = robEst_[slot] = robComplete_[slot] =
             now_ + cfg_.branchLat;
         if (e.mispredictedBranch) {
             branchPending_ = false;
-            fetchBlockedUntil_ =
-                std::max(fetchBlockedUntil_,
-                         e.completeAt + cfg_.branchMispredictPenalty);
-            traceUop(TraceEvent::Squash, e);
+            fetchBlockedUntil_ = std::max(
+                fetchBlockedUntil_,
+                robComplete_[slot] + cfg_.branchMispredictPenalty);
+            traceUop(TraceEvent::Squash, slot);
         }
         break;
       case UopClass::StoreAddr: {
         const Cycle t = now_ + cfg_.aguLat;
-        e.actualReady = e.estReady = e.completeAt = t;
-        mob_.staExecuted(e.seq, t);
-        maybeTouchStore(e.seq);
+        robActual_[slot] = robEst_[slot] = robComplete_[slot] = t;
+        mob_.staExecuted(robSeq_[slot], t);
+        maybeTouchStore(robSeq_[slot]);
         if (bankPred_)
             bankPred_->updateAddr(u.pc, u.addr, bankOf(u.addr));
         break;
       }
       case UopClass::StoreData: {
         const Cycle t = now_ + cfg_.stdLat;
-        e.actualReady = e.estReady = e.completeAt = t;
+        robActual_[slot] = robEst_[slot] = robComplete_[slot] = t;
         assert(e.isPairedStd);
         mob_.stdExecuted(e.pairSeq, t);
         maybeTouchStore(e.pairSeq);
         break;
       }
       case UopClass::Load:
-        executeLoad(e);
+        executeLoad(slot);
         break;
     }
 }
@@ -1386,9 +1553,10 @@ OooCore::issueStage()
         mp.bankFree[b] = 1;
 
     for (SeqNum seq = headSeq_; seq != nextSeq_; ++seq) {
-        RobEntry &e = rob_[slotOf(seq)];
-        if (e.state != State::Waiting)
+        const int slot = slotOf(seq);
+        if (robState_[slot] != State::Waiting)
             continue;
+        RobEntry &e = rob_[slot];
 
         const bool is_mem = e.uop.isMem();
         int *pool = nullptr;
@@ -1421,12 +1589,12 @@ OooCore::issueStage()
         // register sources ready and a free memory unit (section 2.1).
         if (e.uop.isLoad() && e.cls == LoadClass::Unclassified &&
             true_ready <= now_ && *pool > 0) {
-            classifyLoad(e);
+            classifyLoad(slot);
         }
 
         if (*pool <= 0)
             continue;
-        if (e.stallUntil > now_)
+        if (robStall_[slot] > now_)
             continue;
 
         const Cycle e1 = srcEstimate(e.src1Slot, e.src1Seq);
@@ -1434,7 +1602,7 @@ OooCore::issueStage()
         if (std::max(e1, e2) > now_)
             continue; // not woken yet
 
-        if (e.uop.isLoad() && !schemeAllowsLoad(e))
+        if (e.uop.isLoad() && !schemeAllowsLoad(slot))
             continue;
 
         if (true_ready > now_) {
@@ -1446,7 +1614,8 @@ OooCore::issueStage()
             // the recovery adds the reschedule penalty at the end.
             --*pool;
             ++res_.wastedIssues;
-            traceUop(TraceEvent::Replay, e);
+            ++cycleActivity_;
+            traceUop(TraceEvent::Replay, slot);
             if (hReplayDist_) {
                 // Top bucket = the producer's data time was still
                 // unknown when the slot burnt (kCycleNever).
@@ -1461,27 +1630,28 @@ OooCore::issueStage()
             const Cycle retry = now_ + cfg_.replayBackoff;
             if (true_ready == kCycleNever || retry < true_ready) {
                 // Data still outstanding: replay again soon.
-                e.stallUntil = retry;
+                robStall_[slot] = retry;
             } else {
                 // Data lands before the next replay: final recovery
                 // costs the reschedule penalty.
-                e.stallUntil = true_ready + cfg_.reschedulePenalty;
+                robStall_[slot] = true_ready + cfg_.reschedulePenalty;
             }
             continue;
         }
 
         if (is_mem) {
-            issueMemUop(e, mp);
+            issueMemUop(slot, mp);
             continue;
         }
         --*pool;
-        issueEntry(e);
+        issueEntry(slot);
     }
 }
 
 void
-OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
+OooCore::issueMemUop(int slot, MemPorts &mp)
 {
+    RobEntry &e = rob_[slot];
     const Uop &u = e.uop;
 
     switch (cfg_.bankMode) {
@@ -1490,7 +1660,7 @@ OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
         // No bank constraints (the dual-scheduled pipe resolves them
         // in its second-level scheduler at extra latency).
         --mp.totalFree;
-        issueEntry(e);
+        issueEntry(slot);
         return;
 
       case BankMode::Conventional: {
@@ -1511,12 +1681,13 @@ OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
             // pipe slot is burnt and the access retries.
             --mp.totalFree;
             ++res_.bankConflicts;
-            e.stallUntil = now_ + 1;
+            ++cycleActivity_;
+            robStall_[slot] = now_ + 1;
             return;
         }
         --mp.totalFree;
         --mp.bankFree[bank];
-        issueEntry(e);
+        issueEntry(slot);
         return;
       }
 
@@ -1529,7 +1700,7 @@ OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
                 if (mp.bankFree[b] > 0) {
                     --mp.bankFree[b];
                     --mp.totalFree;
-                    issueEntry(e);
+                    issueEntry(slot);
                     return;
                 }
             }
@@ -1542,7 +1713,7 @@ OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
             --mp.bankFree[p.bank];
             --mp.totalFree;
             e.bankMispredicted = p.bank != bankOf(u.addr);
-            issueEntry(e);
+            issueEntry(slot);
             return;
         }
         // No confident prediction: replicate to every pipe.
@@ -1555,7 +1726,7 @@ OooCore::issueMemUop(RobEntry &e, MemPorts &mp)
             --mp.totalFree;
         }
         ++res_.bankReplications;
-        issueEntry(e);
+        issueEntry(slot);
         return;
       }
     }
@@ -1578,6 +1749,7 @@ OooCore::renameStage(TraceStream &trace)
         const Uop *u = trace.next();
         if (!u) {
             traceDone_ = true;
+            ++cycleActivity_; // one-time transition, not an idle read
             return;
         }
 
@@ -1585,15 +1757,22 @@ OooCore::renameStage(TraceStream &trace)
         const int slot = slotOf(seq);
         RobEntry &e = rob_[slot];
         e = RobEntry{};
+        // Reset the slot's SoA lanes alongside the cold record (same
+        // values the former in-record fields initialised to).
+        robSeq_[slot] = seq;
+        robState_[slot] = State::Waiting;
+        robEst_[slot] = kCycleNever;
+        robActual_[slot] = kCycleNever;
+        robComplete_[slot] = kCycleNever;
+        robStall_[slot] = 0;
         e.uop = *u;
-        e.seq = seq;
-        e.state = State::Waiting;
         ++rsCount_;
-        traceUop(TraceEvent::Rename, e);
+        ++cycleActivity_;
+        traceUop(TraceEvent::Rename, slot);
 
         if (u->src1 >= 0) {
             const int ps = renameTable_[u->src1];
-            if (ps >= 0 && rob_[ps].seq == renameSeq_[u->src1] &&
+            if (ps >= 0 && robSeq_[ps] == renameSeq_[u->src1] &&
                 inWindow(renameSeq_[u->src1])) {
                 e.src1Slot = ps;
                 e.src1Seq = renameSeq_[u->src1];
@@ -1601,7 +1780,7 @@ OooCore::renameStage(TraceStream &trace)
         }
         if (u->src2 >= 0) {
             const int ps = renameTable_[u->src2];
-            if (ps >= 0 && rob_[ps].seq == renameSeq_[u->src2] &&
+            if (ps >= 0 && robSeq_[ps] == renameSeq_[u->src2] &&
                 inWindow(renameSeq_[u->src2])) {
                 e.src2Slot = ps;
                 e.src2Seq = renameSeq_[u->src2];

@@ -147,25 +147,23 @@ class OooCore
         Issued,  ///< dispatched to an execution unit
     };
 
+    /**
+     * Cold per-slot bookkeeping. The six fields every per-cycle stage
+     * scan reads (seq, state, estReady, actualReady, completeAt,
+     * stallUntil) live in the parallel structure-of-arrays vectors
+     * below (robSeq_ .. robStall_, same slot index) so the hot scans
+     * stream over dense flat arrays instead of striding through this
+     * record (docs/PERFORMANCE.md).
+     */
     struct RobEntry
     {
         Uop uop;
-        SeqNum seq = 0;
-        State state = State::Waiting;
 
         // Producers of the register sources: ROB slot or -1 if the
         // value was already architectural at rename.
         int src1Slot = -1, src2Slot = -1;
         SeqNum src1Seq = 0, src2Seq = 0;
 
-        /** Speculative wakeup estimate seen by consumers. */
-        Cycle estReady = kCycleNever;
-        /** True data-ready time (kCycleNever until determined). */
-        Cycle actualReady = kCycleNever;
-        /** When the entry is done for retirement purposes. */
-        Cycle completeAt = kCycleNever;
-        /** Replay backoff (wasted issue recovery). */
-        Cycle stallUntil = 0;
         bool everWasted = false;
 
         // Load bookkeeping.
@@ -223,16 +221,23 @@ class OooCore
 
     /** Record a per-uop lifecycle event if a tracer is attached. */
     void
-    traceUop(TraceEvent ev, const RobEntry &e)
+    traceUop(TraceEvent ev, int slot)
     {
-        if (tracer_)
-            tracer_->record(ev, now_, e.seq, e.uop.pc, e.uop.cls);
-        if (flight_)
-            flight_->record(ev, now_, e.seq, e.uop.pc, e.uop.cls);
+        if (tracer_) {
+            tracer_->record(ev, now_, robSeq_[slot], rob_[slot].uop.pc,
+                            rob_[slot].uop.cls);
+        }
+        if (flight_) {
+            flight_->record(ev, now_, robSeq_[slot], rob_[slot].uop.pc,
+                            rob_[slot].uop.cls);
+        }
     }
 
     /** Fill res_.histograms from the telemetry histograms (run end). */
     void exportHistograms();
+
+    /** Reset all seven telemetry histograms (no-op when off). */
+    void resetHistograms();
 
     // --- helpers ---
     RobEntry &entryAt(int slot) { return rob_[slot]; }
@@ -250,17 +255,27 @@ class OooCore
     /** True readiness of a source producer. */
     Cycle srcActual(int slot, SeqNum seq) const;
 
-    /** Does the ordering scheme let this load dispatch now? */
-    bool schemeAllowsLoad(const RobEntry &e) const;
+    /** Does the ordering scheme let the load in @p slot dispatch now? */
+    bool schemeAllowsLoad(int slot) const;
 
-    /** Classify the load against the MOB (ground truth), once. */
-    void classifyLoad(RobEntry &e);
+    /** Classify the load in @p slot against the MOB, once. */
+    void classifyLoad(int slot);
 
     /** Execute a load: ordering outcome, cache access, HMP wakeup. */
-    void executeLoad(RobEntry &e);
+    void executeLoad(int slot);
 
-    void issueEntry(RobEntry &e);
+    void issueEntry(int slot);
     void countLoadClass(const RobEntry &e);
+
+    /**
+     * Earliest future cycle at which any stage could mutate state,
+     * given that the current cycle mutated nothing (cycleActivity_ ==
+     * 0): the min over every in-flight slot's stall/est/actual/
+     * complete thresholds, every MOB store's STA/STD completion, and
+     * the fetch-unblock horizon. Returns kCycleNever when no such
+     * event exists (a drained or genuinely stuck machine).
+     */
+    Cycle nextEventCycle() const;
 
     /** Write-allocate a store's line once STA and STD both executed. */
     void maybeTouchStore(SeqNum sta_seq);
@@ -278,7 +293,7 @@ class OooCore
      * bank mode. Returns true if the scan should move on (whether the
      * uop issued, burnt a slot, or was skipped).
      */
-    void issueMemUop(RobEntry &e, MemPorts &mp);
+    void issueMemUop(int slot, MemPorts &mp);
 
     /** Bank of an address under the configured interleave. */
     unsigned bankOf(Addr addr) const
@@ -301,6 +316,22 @@ class OooCore
     Cycle memPipeExtraLat_ = 0;
 
     std::vector<RobEntry> rob_; ///< ring, slot = seq % size
+
+    /**
+     * SoA hot state, parallel to rob_ (same slot indexing): the six
+     * fields the per-cycle scans (issue, retire, wakeup, skip-ahead)
+     * read for every in-flight slot, pulled into dense flat arrays so
+     * those scans touch only the bytes they need. Defaults match a
+     * fresh RobEntry's former field initialisers; renameStage resets
+     * the slot's lane entries alongside the cold record.
+     */
+    std::vector<SeqNum> robSeq_;
+    std::vector<State> robState_;
+    std::vector<Cycle> robEst_;      ///< speculative wakeup estimate
+    std::vector<Cycle> robActual_;   ///< true data-ready time
+    std::vector<Cycle> robComplete_; ///< retirement-ready time
+    std::vector<Cycle> robStall_;    ///< replay backoff horizon
+
     SeqNum headSeq_ = 0;        ///< oldest in-flight seq
     SeqNum nextSeq_ = 0;        ///< next seq to insert
     int rsCount_ = 0;           ///< Waiting entries (scheduling window)
@@ -312,6 +343,14 @@ class OooCore
     std::vector<int> pendingCollision_; ///< load slots awaiting stores
 
     Cycle now_ = 0;
+    /**
+     * State mutations performed in the cycle being executed; reset at
+     * the top of each advanceTo() iteration. Zero at end of cycle
+     * means the machine is frozen until a time threshold is crossed —
+     * the precondition for idle-cycle skip-ahead. Scratch state, not
+     * snapshotted (always dead at advanceTo() boundaries).
+     */
+    std::uint64_t cycleActivity_ = 0;
     /** Finite front-end stall horizon (mispredicts, squashes). */
     Cycle fetchBlockedUntil_ = 0;
     /** A mispredicted branch is in flight; fetch stalls until it

@@ -18,6 +18,9 @@ namespace
 /** Lock-free so a signal handler can store to it (see runner.hh). */
 std::atomic<bool> gSweepInterrupt{false};
 
+/** Relaxed atomic: pool workers read it while tests/CLI flip it. */
+std::atomic<bool> gCycleSkipAhead{true};
+
 } // namespace
 
 void
@@ -36,6 +39,18 @@ void
 clearSweepInterrupt() noexcept
 {
     gSweepInterrupt.store(false, std::memory_order_relaxed);
+}
+
+void
+setCycleSkipAhead(bool enabled) noexcept
+{
+    gCycleSkipAhead.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+cycleSkipAhead() noexcept
+{
+    return gCycleSkipAhead.load(std::memory_order_relaxed);
 }
 
 SimResult

@@ -74,6 +74,21 @@ bool sweepInterruptRequested() noexcept;
 /** Re-arm after a handled interrupt (tests; fresh supervisor runs). */
 void clearSweepInterrupt() noexcept;
 
+/**
+ * Idle-cycle skip-ahead toggle (docs/PERFORMANCE.md). When on (the
+ * default), OooCore::advanceTo() jumps over provably idle cycles —
+ * cycles in which no stage can mutate machine state — landing on the
+ * earliest future event with interval stats, histograms, audit
+ * cadence and the interrupt-poll cadence bulk-accounted to be
+ * bit-identical to stepping every cycle. A process-wide runtime flag
+ * rather than a MachineConfig field: it cannot change any simulated
+ * outcome, so it must not enter config fingerprints (snapshot
+ * headers, warm-fork reuse checks). `lrs_sim --no-skip-ahead` and the
+ * ThroughputIdentity tests flip it to pin the equivalence.
+ */
+void setCycleSkipAhead(bool enabled) noexcept;
+bool cycleSkipAhead() noexcept;
+
 } // namespace lrs
 
 #endif // LRS_CORE_RUNNER_HH

@@ -1,5 +1,6 @@
 #include "core/supervisor.hh"
 
+#include <cassert>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -155,8 +156,16 @@ SweepSupervisor::emitProgress()
         std::chrono::duration_cast<std::chrono::milliseconds>(
             now - progStart_)
             .count());
+    // Journal-restored (skipped) cells are not fresh work: they must
+    // never count toward the rate or ETA, and their tally can never
+    // exceed the grid. A disagreement here would wrap the unsigned
+    // subtraction into a multi-exabyte ETA, so clamp defensively and
+    // assert in debug builds.
+    assert(progSkipped_ + progDone_ <= progTotal_ &&
+           "sweep progress counters exceed the grid size");
+    const std::uint64_t accounted = progSkipped_ + progDone_;
     const std::uint64_t remaining =
-        progTotal_ - progSkipped_ - progDone_;
+        accounted < progTotal_ ? progTotal_ - accounted : 0;
     json::Value hb = json::Value::object();
     hb.set("v", 1);
     hb.set("type", "progress");

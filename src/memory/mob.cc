@@ -8,18 +8,53 @@
 namespace lrs
 {
 
+std::size_t
+Mob::olderCount(SeqNum load_seq) const
+{
+    // Binary search over the seq-sorted logical order: first logical
+    // index whose seq >= load_seq.
+    std::size_t lo = 0;
+    std::size_t hi = count_;
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (at(mid).seq < load_seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+Mob::append(const StoreRec &r)
+{
+    if (count_ == ring_.size()) {
+        // Grow with a contiguous rebuild: logical order becomes
+        // physical order, head_ returns to 0.
+        std::vector<StoreRec> grown;
+        grown.reserve(ring_.empty() ? 16 : ring_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            grown.push_back(at(i));
+        grown.resize(grown.capacity());
+        ring_ = std::move(grown);
+        head_ = 0;
+    }
+    ring_[physIndex(count_)] = r;
+    ++count_;
+}
+
 void
 Mob::insert(SeqNum sta_seq, Addr addr, std::uint8_t size, Addr pc,
             bool barrier)
 {
-    assert(stores_.empty() || stores_.back().seq < sta_seq);
+    assert(count_ == 0 || at(count_ - 1).seq < sta_seq);
     StoreRec rec;
     rec.seq = sta_seq;
     rec.addr = addr;
     rec.pc = pc;
     rec.size = size;
     rec.barrier = barrier;
-    stores_.push_back(rec);
+    append(rec);
     ++inserted_;
 }
 
@@ -41,7 +76,7 @@ Mob::registerStats(StatsGroup g)
     g.bindCounter("violations", &violations_,
                   "stores that caused a wrong load ordering");
     g.derived("occupancy",
-              [this] { return static_cast<double>(stores_.size()); },
+              [this] { return static_cast<double>(count_); },
               "stores currently in the window");
     // Only present in partial-address mode: the default (full-address)
     // registry must stay byte-identical to what the goldens pin.
@@ -58,10 +93,9 @@ Mob::registerStats(StatsGroup g)
 bool
 Mob::anyBarrierOlderIncomplete(SeqNum load_seq, Cycle now) const
 {
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (it->barrier && !it->completeAt(now))
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        const StoreRec &r = at(i);
+        if (r.barrier && !r.completeAt(now))
             return true;
     }
     return false;
@@ -76,12 +110,9 @@ Mob::get(SeqNum sta_seq) const
 Mob::StoreRec *
 Mob::find(SeqNum sta_seq)
 {
-    // Binary search: stores_ is sorted by seq.
-    auto it = std::lower_bound(
-        stores_.begin(), stores_.end(), sta_seq,
-        [](const StoreRec &r, SeqNum s) { return r.seq < s; });
-    if (it != stores_.end() && it->seq == sta_seq)
-        return &*it;
+    std::size_t older = olderCount(sta_seq);
+    if (older < count_ && at(older).seq == sta_seq)
+        return &at(older);
     return nullptr;
 }
 
@@ -104,23 +135,26 @@ Mob::stdExecuted(SeqNum sta_seq, Cycle when)
 void
 Mob::retire(SeqNum sta_seq)
 {
-    assert(!stores_.empty() && stores_.front().seq == sta_seq);
-    stores_.pop_front();
+    assert(count_ != 0 && at(0).seq == sta_seq);
+    (void)sta_seq;
+    ++head_;
+    if (head_ == ring_.size())
+        head_ = 0;
+    --count_;
 }
 
 void
 Mob::clear()
 {
-    stores_.clear();
+    head_ = 0;
+    count_ = 0;
 }
 
 bool
 Mob::anyUnknownAddrOlder(SeqNum load_seq, Cycle now) const
 {
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (!it->addrKnownAt(now))
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        if (!at(i).addrKnownAt(now))
             return true;
     }
     return false;
@@ -129,10 +163,8 @@ Mob::anyUnknownAddrOlder(SeqNum load_seq, Cycle now) const
 bool
 Mob::anyIncompleteOlder(SeqNum load_seq, Cycle now) const
 {
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (!it->completeAt(now))
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        if (!at(i).completeAt(now))
             return true;
     }
     return false;
@@ -141,10 +173,9 @@ Mob::anyIncompleteOlder(SeqNum load_seq, Cycle now) const
 bool
 Mob::allOlderComplete(SeqNum load_seq, Cycle now) const
 {
-    for (const auto &r : stores_) {
-        if (r.seq >= load_seq)
-            break;
-        if (!r.completeAt(now))
+    const std::size_t older = olderCount(load_seq);
+    for (std::size_t i = 0; i < older; ++i) {
+        if (!at(i).completeAt(now))
             return false;
     }
     return true;
@@ -159,10 +190,9 @@ Mob::allOlderAddrKnown(SeqNum load_seq, Cycle now) const
 bool
 Mob::allOlderDataKnown(SeqNum load_seq, Cycle now) const
 {
-    for (const auto &r : stores_) {
-        if (r.seq >= load_seq)
-            break;
-        if (!r.dataKnownAt(now))
+    const std::size_t older = olderCount(load_seq);
+    for (std::size_t i = 0; i < older; ++i) {
+        if (!at(i).dataKnownAt(now))
             return false;
     }
     return true;
@@ -172,11 +202,10 @@ const Mob::StoreRec *
 Mob::youngestOverlapOlder(SeqNum load_seq, Addr addr,
                           std::uint8_t size) const
 {
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (rangesOverlap(it->addr, it->size, addr, size))
-            return &*it;
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        const StoreRec &r = at(i);
+        if (rangesOverlap(r.addr, r.size, addr, size))
+            return &r;
     }
     return nullptr;
 }
@@ -185,11 +214,10 @@ bool
 Mob::collidesAt(SeqNum load_seq, Addr addr, std::uint8_t size,
                 Cycle now) const
 {
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (!it->addrKnownAt(now) &&
-            rangesOverlap(it->addr, it->size, addr, size)) {
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        const StoreRec &r = at(i);
+        if (!r.addrKnownAt(now) &&
+            rangesOverlap(r.addr, r.size, addr, size)) {
             return true;
         }
     }
@@ -205,20 +233,19 @@ Mob::partialAliasOlder(SeqNum load_seq, Addr addr, std::uint8_t size,
     const Addr mask = partialBits_ >= 64
                           ? ~Addr(0)
                           : (Addr(1) << partialBits_) - 1;
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (!it->addrKnownAt(now))
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        const StoreRec &r = at(i);
+        if (!r.addrKnownAt(now))
             continue;
         // Narrow comparator: ranges compared in the masked window.
         // Accesses straddling the window boundary wrap; they are
         // vanishingly rare and a wrap only widens the match — i.e.
         // errs conservative, like the hardware.
-        if (!rangesOverlap(it->addr & mask, it->size, addr & mask,
+        if (!rangesOverlap(r.addr & mask, r.size, addr & mask,
                            size)) {
             continue;
         }
-        if (rangesOverlap(it->addr, it->size, addr, size)) {
+        if (rangesOverlap(r.addr, r.size, addr, size)) {
             // The match is real: full-address machinery (forwarding,
             // collision classification) already handles this store.
             ++partialTrueMatches_;
@@ -235,11 +262,10 @@ Mob::overlapDistance(SeqNum load_seq, Addr addr,
                      std::uint8_t size) const
 {
     unsigned dist = 0;
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
+    for (std::size_t i = olderCount(load_seq); i-- > 0;) {
+        const StoreRec &r = at(i);
         ++dist;
-        if (rangesOverlap(it->addr, it->size, addr, size))
+        if (rangesOverlap(r.addr, r.size, addr, size))
             return dist;
     }
     return 0;
@@ -249,21 +275,18 @@ const Mob::StoreRec *
 Mob::olderAtDistance(SeqNum load_seq, unsigned distance) const
 {
     assert(distance >= 1);
-    unsigned dist = 0;
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-        if (it->seq >= load_seq)
-            continue;
-        if (++dist == distance)
-            return &*it;
-    }
-    return nullptr;
+    const std::size_t older = olderCount(load_seq);
+    if (older < distance)
+        return nullptr;
+    return &at(older - distance);
 }
 
 json::Value
 Mob::saveState() const
 {
     json::Value recs = json::Value::array();
-    for (const StoreRec &r : stores_) {
+    for (std::size_t i = 0; i < count_; ++i) {
+        const StoreRec &r = at(i);
         // Fixed field order, one flat array per record: compact and
         // unambiguous (the loader checks the arity).
         json::Value rec = json::Value::array();
@@ -293,7 +316,7 @@ Mob::loadState(const json::Value &state)
     const json::Value &recs = stateio::need(state, "stores");
     if (!recs.isArray())
         stateio::fail("stores", "MOB store list is not an array");
-    stores_.clear();
+    clear();
     for (std::size_t i = 0; i < recs.size(); ++i) {
         const json::Value &rec = recs.at(i);
         if (!rec.isArray() || rec.size() != 8)
@@ -307,7 +330,7 @@ Mob::loadState(const json::Value &state)
         r.causedViolation = rec.at(5).asU64() != 0;
         r.staDoneAt = rec.at(6).asU64();
         r.stdDoneAt = rec.at(7).asU64();
-        stores_.push_back(r);
+        append(r);
     }
     inserted_ = stateio::needU64(state, "inserted");
     violations_ = stateio::needU64(state, "violations");

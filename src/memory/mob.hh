@@ -25,8 +25,7 @@
 #define LRS_MEMORY_MOB_HH
 
 #include <cstdint>
-#include <deque>
-#include <optional>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/stats_registry.hh"
@@ -89,7 +88,7 @@ class Mob
     void clear();
 
     /** Number of stores currently in the window. */
-    std::size_t size() const { return stores_.size(); }
+    std::size_t size() const { return count_; }
 
     /** Stores ever inserted (lifetime of this MOB). */
     std::uint64_t inserted() const { return inserted_; }
@@ -192,14 +191,11 @@ class Mob
     const StoreRec *get(SeqNum sta_seq) const;
 
     /**
-     * Read-only view of every in-window store, program order (oldest
-     * first). Used by the invariant auditor to cross-check the MOB
-     * against the ROB.
+     * The @p i-th in-window store in program order (0 = oldest).
+     * Together with size() this is the read-only view the invariant
+     * auditor uses to cross-check the MOB against the ROB.
      */
-    const std::deque<StoreRec> &storeRecords() const
-    {
-        return stores_;
-    }
+    const StoreRec &storeAt(std::size_t i) const { return at(i); }
 
     /**
      * Machine-snapshot support (core/snapshot.hh): every in-window
@@ -209,8 +205,46 @@ class Mob
     void loadState(const json::Value &state);
 
   private:
-    /** Stores in program order (oldest first). */
-    std::deque<StoreRec> stores_;
+    /**
+     * Stores in program order as a ring over one flat array: logical
+     * index i lives at ring_[(head_ + i) % ring_.size()]. A flat ring
+     * keeps every age-ordered CAM walk on contiguous cache lines
+     * (docs/PERFORMANCE.md) where the former std::deque chased
+     * block-map pointers. Grown (with a contiguous rebuild) only when
+     * count_ hits capacity; pointers returned by the query API are
+     * invalidated only by that growth, and no caller holds one across
+     * an insert().
+     */
+    std::vector<StoreRec> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+
+    std::size_t
+    physIndex(std::size_t logical) const
+    {
+        std::size_t i = head_ + logical;
+        if (i >= ring_.size())
+            i -= ring_.size();
+        return i;
+    }
+
+    StoreRec &at(std::size_t logical) { return ring_[physIndex(logical)]; }
+    const StoreRec &
+    at(std::size_t logical) const
+    {
+        return ring_[physIndex(logical)];
+    }
+
+    /**
+     * Number of in-window stores older than @p load_seq — the logical
+     * prefix [0, olderCount) every ordering query iterates. Binary
+     * search over the seq-sorted ring, so queries never touch the
+     * younger suffix at all (the deque version skip-scanned it).
+     */
+    std::size_t olderCount(SeqNum load_seq) const;
+
+    /** Append @p r as the youngest store, growing the ring if full. */
+    void append(const StoreRec &r);
 
     std::uint64_t inserted_ = 0;
     std::uint64_t violations_ = 0;

@@ -8,8 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/random.hh"
 #include "core/runner.hh"
+#include "trace/library.hh"
 
 namespace lrs
 {
@@ -509,6 +514,72 @@ TEST(Core, ConfigStringRecorded)
     const auto r = run(b.build(), cfg);
     EXPECT_EQ(r.config, "Exclusive/chooser");
     EXPECT_EQ(r.trace, "micro");
+}
+
+TEST(Core, PendingCollisionOrderIsStableAcrossResolution)
+{
+    // resolvePendingCollisions() compacts its queue in place and must
+    // keep the surviving entries in arrival order. The former
+    // middle-erase walk made the retry order an artifact of erase
+    // mechanics; this pins the contract: each cycle's queue is a
+    // subsequence of the previous cycle's queue, with fresh arrivals
+    // appended strictly at the tail. (A slot cannot leave and
+    // re-enter within one cycle — resolution runs before issue, and
+    // re-issuing a reused slot takes a retire plus a rename — so
+    // membership in the previous queue identifies survivors exactly.)
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Opportunistic;
+    const auto job = TraceLibrary::byName("spoiler4k", 1500);
+
+    auto full = TraceLibrary::make(job);
+    OooCore probe(cfg);
+    const SimResult r = probe.run(*full);
+
+    auto trace = TraceLibrary::make(job);
+    OooCore core(cfg);
+    core.beginRun(*trace);
+    std::vector<std::int64_t> prev;
+    std::size_t deepest = 0;  // largest queue observed
+    std::size_t partials = 0; // cycles resolving some but not all
+    for (Cycle c = 1; c <= r.cycles; ++c) {
+        core.advanceTo(*trace, c);
+        const json::Value st = core.saveState();
+        const json::Value &pend =
+            st.at("core").at("pending_collision");
+        std::vector<std::int64_t> cur;
+        for (std::size_t i = 0; i < pend.size(); ++i)
+            cur.push_back(pend.at(i).asI64());
+        deepest = std::max(deepest, cur.size());
+
+        std::size_t pi = 0;
+        bool fresh_seen = false;
+        std::size_t survivors = 0;
+        for (const std::int64_t slot : cur) {
+            const bool survivor =
+                std::find(prev.begin(), prev.end(), slot) !=
+                prev.end();
+            if (survivor) {
+                ASSERT_FALSE(fresh_seen)
+                    << "cycle " << c << ": survivor after new entry";
+                while (pi < prev.size() && prev[pi] != slot)
+                    ++pi;
+                ASSERT_LT(pi, prev.size())
+                    << "cycle " << c << ": survivors reordered";
+                ++pi;
+                ++survivors;
+            } else {
+                fresh_seen = true;
+            }
+        }
+        if (survivors != 0 && survivors < prev.size())
+            ++partials;
+        prev = std::move(cur);
+    }
+    // The workload must actually exercise the interesting shapes —
+    // multi-entry queues and partial resolutions — or the invariant
+    // above holds vacuously.
+    EXPECT_GE(deepest, 2u);
+    EXPECT_GE(partials, 1u);
 }
 
 TEST(Runner, GeomeanAndEnv)

@@ -63,6 +63,38 @@ TEST(Histogram, RecordTracksExactExtremaAndSum)
     EXPECT_DOUBLE_EQ(h.mean(), 335.0);
 }
 
+TEST(Histogram, BulkRecordEqualsRepeatedSingles)
+{
+    // record(v, n) is the skip-ahead's bulk accounting: it must be
+    // indistinguishable (mod 2^64) from n single records, including
+    // first-sample extrema initialisation and the zero-count no-op.
+    Log2Histogram bulk;
+    Log2Histogram singles;
+    bulk.record(7, 0); // no-op: still empty
+    EXPECT_EQ(bulk.toJson().dump(0), Log2Histogram().toJson().dump(0));
+
+    const struct { std::uint64_t v, n; } plan[] = {
+        {42, 3}, {0, 1}, {42, 1}, {1u << 20, 5}, {5, 1000}, {7, 0},
+    };
+    for (const auto &p : plan) {
+        bulk.record(p.v, p.n);
+        for (std::uint64_t i = 0; i < p.n; ++i)
+            singles.record(p.v);
+    }
+    EXPECT_EQ(bulk.toJson().dump(0), singles.toJson().dump(0));
+    EXPECT_EQ(bulk.count(), 1010u);
+    EXPECT_EQ(bulk.min(), 0u);
+    EXPECT_EQ(bulk.max(), std::uint64_t{1} << 20);
+
+    // A bulk record on an empty histogram must seed min AND max from
+    // the value even when the value is 0 (the "count_ == 0" branch).
+    Log2Histogram zero;
+    zero.record(0, 4);
+    EXPECT_EQ(zero.min(), 0u);
+    EXPECT_EQ(zero.max(), 0u);
+    EXPECT_EQ(zero.count(), 4u);
+}
+
 TEST(Histogram, EmptyExport)
 {
     const json::Value v = Log2Histogram{}.toJson();

@@ -270,5 +270,108 @@ TEST_F(MobTest, PartialCountersRegisteredOnlyWhenActive)
     EXPECT_EQ(on.value("mob.partial_true_matches"), 0.0);
 }
 
+// ---- ring-buffer mechanics ----
+// The MOB stores its window in a circular buffer (initial capacity
+// 16, grow-by-rebuild). A steady insert/retire stream cycles the head
+// through the physical array many times; every query must see the
+// same program-order window as a naive deque would.
+
+TEST_F(MobTest, RingWrapPreservesWindowAndQueries)
+{
+    // Keep 5 stores in flight while inserting 200: the head index
+    // laps the 16-slot ring a dozen times.
+    SeqNum next = 0;
+    for (int i = 0; i < 200; ++i) {
+        const SeqNum seq = next;
+        next += 2;
+        mob.insert(seq, 0x1000 + seq * 8, 8);
+        mob.staExecuted(seq, i);
+        mob.stdExecuted(seq, i + 1);
+        if (mob.size() > 5)
+            mob.retire(mob.storeAt(0).seq);
+    }
+    ASSERT_EQ(mob.size(), 5u);
+    // storeAt() walks oldest to youngest in program order.
+    for (std::size_t i = 0; i + 1 < mob.size(); ++i)
+        EXPECT_LT(mob.storeAt(i).seq, mob.storeAt(i + 1).seq);
+    // The retired majority is gone; the survivors are addressable.
+    EXPECT_EQ(mob.get(0), nullptr);
+    const SeqNum youngest = mob.storeAt(4).seq;
+    ASSERT_NE(mob.get(youngest), nullptr);
+    EXPECT_EQ(mob.get(youngest)->addr, 0x1000 + youngest * 8);
+    // Ordering queries against the wrapped window.
+    EXPECT_EQ(mob.olderAtDistance(next, 1)->seq, youngest);
+    EXPECT_EQ(mob.olderAtDistance(next, 5)->seq, mob.storeAt(0).seq);
+    EXPECT_EQ(mob.olderAtDistance(next, 6), nullptr);
+    EXPECT_EQ(
+        mob.overlapDistance(next, 0x1000 + mob.storeAt(0).seq * 8, 8),
+        5u);
+    EXPECT_TRUE(mob.allOlderComplete(next, 1000));
+    EXPECT_EQ(mob.inserted(), 200u);
+}
+
+TEST_F(MobTest, GrowthWhileWrappedKeepsProgramOrder)
+{
+    // Drive head_ to mid-ring, then fill past the 16-slot capacity so
+    // the grow-by-rebuild path runs while the window straddles the
+    // physical wrap point.
+    for (SeqNum s = 0; s < 10; ++s)
+        mob.insert(s, 0x100 * (s + 1), 8);
+    for (SeqNum s = 0; s < 9; ++s)
+        mob.retire(s);
+    ASSERT_EQ(mob.size(), 1u);
+    for (SeqNum s = 10; s < 40; ++s)
+        mob.insert(s, 0x100 * (s + 1), 8);
+    ASSERT_EQ(mob.size(), 31u);
+    for (std::size_t i = 0; i < mob.size(); ++i) {
+        EXPECT_EQ(mob.storeAt(i).seq, 9 + i);
+        EXPECT_EQ(mob.storeAt(i).addr, 0x100 * (9 + i + 1));
+    }
+    EXPECT_EQ(mob.youngestOverlapOlder(100, 0x100 * 10, 8)->seq, 9u);
+    // The untouched stores all have unknown addresses.
+    EXPECT_TRUE(mob.anyUnknownAddrOlder(100, 1000000));
+}
+
+TEST_F(MobTest, StateRoundTripsAfterWrap)
+{
+    // Wrap the ring, mutate some records, then serialize: a restored
+    // MOB must answer every query identically and keep the lifetime
+    // counters.
+    for (SeqNum s = 0; s < 30; ++s) {
+        mob.insert(s * 3, 0x2000 + s * 16, 8, /*pc=*/0x400 + s,
+                   /*barrier=*/s % 7 == 0);
+        if (s >= 4)
+            mob.retire((s - 4) * 3);
+    }
+    mob.staExecuted(27 * 3, 500);
+    mob.markViolation(27 * 3);
+    const json::Value st = mob.saveState();
+
+    Mob back;
+    back.loadState(st);
+    EXPECT_EQ(back.size(), mob.size());
+    EXPECT_EQ(back.inserted(), 30u);
+    EXPECT_EQ(back.violationsMarked(), 1u);
+    for (std::size_t i = 0; i < mob.size(); ++i) {
+        const Mob::StoreRec &a = mob.storeAt(i);
+        const Mob::StoreRec &b = back.storeAt(i);
+        EXPECT_EQ(b.seq, a.seq);
+        EXPECT_EQ(b.addr, a.addr);
+        EXPECT_EQ(b.pc, a.pc);
+        EXPECT_EQ(b.barrier, a.barrier);
+        EXPECT_EQ(b.causedViolation, a.causedViolation);
+        EXPECT_EQ(b.staDoneAt, a.staDoneAt);
+        EXPECT_EQ(b.stdDoneAt, a.stdDoneAt);
+    }
+    EXPECT_EQ(back.saveState().dump(0), st.dump(0));
+    // And the restored ring keeps working past another wrap.
+    for (SeqNum s = 30; s < 60; ++s) {
+        back.insert(s * 3, 0x2000 + s * 16, 8);
+        back.retire(back.storeAt(0).seq);
+    }
+    EXPECT_EQ(back.size(), mob.size());
+    EXPECT_EQ(back.storeAt(back.size() - 1).seq, 59u * 3);
+}
+
 } // namespace
 } // namespace lrs

@@ -23,6 +23,7 @@
 
 #include "common/diag.hh"
 #include "common/fault_injector.hh"
+#include "common/histogram.hh"
 #include "common/journal.hh"
 #include "core/config_io.hh"
 #include "core/core.hh"
@@ -160,6 +161,129 @@ TEST(Snapshot, RestoredRunIsBitIdenticalWithEverythingOn)
             << "stop=" << stop;
     }
     std::remove(path.c_str());
+}
+
+TEST(Snapshot, HistogramsResetOnRestoreFromHistlessDonor)
+{
+    // Warm-fork with histograms newly enabled: the donor state has no
+    // "hist" section, so the restoring core must start its seven
+    // distributions cold — even if that core already ran a different
+    // workload and its histograms hold counts. Leaking those dirty
+    // counts into the resumed run is exactly the bug the single
+    // resetHistograms() path closes.
+    MachineConfig off = richConfig();
+    off.collectHistograms = false;
+    const MachineConfig on = richConfig();
+
+    auto dt = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore donor(off);
+    donor.beginRun(*dt);
+    donor.advanceTo(*dt, 3000);
+    const json::Value state = donor.saveState();
+    ASSERT_EQ(state.find("hist"), nullptr);
+
+    // Reference: a fresh histogram-collecting core resumes from it.
+    auto t1 = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore fresh(on);
+    fresh.loadState(state, *t1);
+    fresh.advanceTo(*t1);
+    const SimResult r_fresh = fresh.finishRun();
+    const json::Value *fh = r_fresh.histograms.find("occ_rob");
+    ASSERT_NE(fh, nullptr);
+    EXPECT_GT(fh->at("count").asU64(), 0u);
+
+    // Dirty core: run a full unrelated workload first, then resume.
+    auto warm = TraceLibrary::make(TraceLibrary::byName("gcc", 15000));
+    auto t2 = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore dirty(on);
+    dirty.run(*warm);
+    ASSERT_GT(dirty.saveState()
+                  .at("hist")
+                  .at("occ_rob")
+                  .at("count")
+                  .asU64(),
+              0u);
+    dirty.loadState(state, *t2);
+    dirty.advanceTo(*t2);
+    const SimResult r_dirty = dirty.finishRun();
+
+    EXPECT_EQ(fingerprint(r_dirty), fingerprint(r_fresh));
+}
+
+TEST(Snapshot, HistogramSectionMustContainAllSevenDistributions)
+{
+    // A partial "hist" section must be rejected atomically: restoring
+    // only some distributions would mix donor counts with whatever
+    // this core held before.
+    const MachineConfig cfg = richConfig();
+    auto t = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore core(cfg);
+    core.beginRun(*t);
+    core.advanceTo(*t, 2000);
+    const json::Value state = core.saveState();
+    const json::Value *h = state.find("hist");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->size(), 7u);
+
+    const auto restore = [&cfg](const json::Value &st) {
+        auto tr =
+            TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+        OooCore c(cfg);
+        c.loadState(st, *tr);
+    };
+    restore(state); // the intact section is accepted
+
+    for (const auto &victim : h->members()) {
+        json::Value damaged = json::Value::object();
+        for (const auto &m : state.members()) {
+            if (m.first != "hist") {
+                damaged.set(m.first, m.second);
+                continue;
+            }
+            json::Value sub = json::Value::object();
+            for (const auto &k : h->members())
+                if (k.first != victim.first)
+                    sub.set(k.first, k.second);
+            damaged.set("hist", std::move(sub));
+        }
+        EXPECT_THROW(restore(damaged), ConfigError) << victim.first;
+    }
+
+    // An extra eighth distribution is just as malformed.
+    json::Value extra = json::Value::object();
+    for (const auto &m : state.members()) {
+        json::Value v = m.second;
+        if (m.first == "hist")
+            v.set("mystery", Log2Histogram{}.toJson());
+        extra.set(m.first, v);
+    }
+    EXPECT_THROW(restore(extra), ConfigError);
+}
+
+TEST(Snapshot, HistSectionIgnoredWhenCollectionDisabled)
+{
+    // The reverse fork: a histogram-collecting donor restored into a
+    // histograms-off core. The section is surplus telemetry, not an
+    // error, and since histograms never influence timing the resumed
+    // run must match an uninterrupted histograms-off run bit for bit.
+    const MachineConfig on = richConfig();
+    MachineConfig off = richConfig();
+    off.collectHistograms = false;
+
+    auto dt = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore donor(on);
+    donor.beginRun(*dt);
+    donor.advanceTo(*dt, 3000);
+    const json::Value state = donor.saveState();
+    ASSERT_NE(state.find("hist"), nullptr);
+
+    auto t = TraceLibrary::make(TraceLibrary::byName("wd", 15000));
+    OooCore core(off);
+    core.loadState(state, *t);
+    core.advanceTo(*t);
+    const SimResult r = core.finishRun();
+    EXPECT_EQ(fingerprint(r), fingerprint(runFull(off, "wd", 15000)));
+    EXPECT_TRUE(r.histograms.isNull());
 }
 
 TEST(Snapshot, CheckpointAtCycleZeroAndPastDrain)

@@ -16,11 +16,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -159,6 +162,80 @@ TEST(ParallelSupervisor, ResumeSkipsJournaledCellsWithoutRerunning)
         // The restored summary feeds the report table.
         EXPECT_EQ(outcomes[i].result.cycles, 1000 + i);
     }
+    std::remove(path.c_str());
+}
+
+TEST(ParallelSupervisor, ProgressHeartbeatsCountOnlyFreshWorkOnResume)
+{
+    InterruptGuard guard;
+    const std::string path = tmpPath("resume_progress.jsonl");
+    std::remove(path.c_str());
+
+    SweepOptions opts;
+    opts.journalPath = path;
+    opts.workers = 2;
+    {
+        // First pass: cells 0-2 succeed and journal OK records; 3-5
+        // fail, so the resume below must re-run exactly those three.
+        SweepSupervisor sup(opts);
+        sup.run(6, makeKeys(6),
+                [](std::size_t cell, unsigned) -> JobOutcome {
+                    if (cell >= 3)
+                        throwConfig("test", "cell", "induced failure");
+                    return fakeCell(cell);
+                });
+    }
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    opts.resume = true;
+    opts.progressFd = fds[1];
+    SweepSupervisor sup(opts);
+    const auto outcomes = sup.run(
+        6, makeKeys(6),
+        [](std::size_t cell, unsigned) { return fakeCell(cell); });
+    close(fds[1]);
+
+    ASSERT_EQ(sup.sweepStats().skipped, 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(outcomes[i].status, CellStatus::Skipped);
+    for (std::size_t i = 3; i < 6; ++i)
+        EXPECT_EQ(outcomes[i].status, CellStatus::Ok);
+
+    std::string stream;
+    char buf[4096];
+    for (ssize_t k; (k = read(fds[0], buf, sizeof buf)) > 0;)
+        stream.append(buf, static_cast<std::size_t>(k));
+    close(fds[0]);
+
+    // Every heartbeat: journal-restored cells ride in "skipped" and
+    // never leak into done/uops (the rate and ETA basis). The
+    // regression counted them as fresh completions, which inflated
+    // the uops/sec rate with work this process never did.
+    std::size_t lines = 0;
+    json::Value last;
+    std::istringstream is(stream);
+    for (std::string line; std::getline(is, line);) {
+        ++lines;
+        const json::Value hb = json::Value::parse(line);
+        EXPECT_EQ(hb.at("type").asString(), "progress");
+        EXPECT_EQ(hb.at("total").asU64(), 6u);
+        EXPECT_EQ(hb.at("skipped").asU64(), 3u);
+        const std::uint64_t done = hb.at("done").asU64();
+        EXPECT_LE(done, 3u);
+        EXPECT_EQ(hb.at("uops").asU64(), done * 500u);
+        // No rate basis until the first FRESH completion.
+        if (done == 0)
+            EXPECT_TRUE(hb.at("eta_ms").isNull());
+        last = hb;
+    }
+    ASSERT_GE(lines, 2u); // at least the initial + final heartbeats
+    EXPECT_EQ(last.at("done").asU64(), 3u);
+    EXPECT_EQ(last.at("ok").asU64(), 3u);
+    EXPECT_EQ(last.at("uops").asU64(), 1500u);
+    // Nothing remains: the closing ETA is exactly zero, not a
+    // skipped-cells-made-it-negative artifact.
+    EXPECT_EQ(last.at("eta_ms").asU64(), 0u);
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The idle-cycle skip-ahead equivalence contract
+ * (docs/PERFORMANCE.md): a run with the skip-ahead fast path enabled
+ * must be byte-identical — every counter, interval sample, histogram
+ * bucket and the final machine state — to the same run stepping every
+ * cycle. The suite pins the contract on dense synthetic traces, on
+ * the sparse long-latency workloads the fast path was built for, on
+ * the adversarial families, on the golden ChampSim fixture, at
+ * awkward stop_at boundaries (including the 16K interrupt-poll
+ * cadence), and through a snapshot taken in the middle of a skipped
+ * idle region.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/core.hh"
+#include "core/runner.hh"
+#include "core/snapshot.hh"
+#include "trace/champsim_reader.hh"
+#include "trace/library.hh"
+
+namespace lrs
+{
+namespace
+{
+
+/** Every test must leave the process-wide toggle as it found it. */
+class SkipAheadGuard
+{
+  public:
+    SkipAheadGuard() : saved_(cycleSkipAhead()) {}
+    ~SkipAheadGuard() { setCycleSkipAhead(saved_); }
+
+  private:
+    bool saved_;
+};
+
+/** Long-latency memory under a perfect hit-miss predictor: consumers
+ *  sleep until data arrives, so the machine freezes for thousands of
+ *  cycles at a time — the regime where the skip-ahead jumps furthest
+ *  and any accounting slip would show. */
+MachineConfig
+sparseConfig()
+{
+    MachineConfig cfg;
+    cfg.cht.trackDistance = true;
+    cfg.mem.memLatency = 2000;
+    cfg.hmp = HmpKind::Perfect;
+    return cfg;
+}
+
+/** Run to completion and return the complete lossless state: the
+ *  drained machine plus the full result serialization. */
+std::string
+runDump(const MachineConfig &cfg, TraceStream &trace, bool skip)
+{
+    setCycleSkipAhead(skip);
+    OooCore core(cfg);
+    const SimResult r = core.run(trace);
+    return core.saveState().dump(0) + "\n" + r.saveState().dump(0);
+}
+
+std::string
+runDumpNamed(const MachineConfig &cfg, const std::string &name,
+             std::uint64_t len, bool skip)
+{
+    auto trace = TraceLibrary::make(TraceLibrary::byName(name, len));
+    return runDump(cfg, *trace, skip);
+}
+
+TEST(ThroughputIdentity, SyntheticTracesMatchStepping)
+{
+    SkipAheadGuard guard;
+    for (const char *name : {"wd", "gcc", "li", "compress"}) {
+        MachineConfig cfg;
+        cfg.cht.trackDistance = true;
+        EXPECT_EQ(runDumpNamed(cfg, name, 20000, false),
+                  runDumpNamed(cfg, name, 20000, true))
+            << name;
+    }
+}
+
+TEST(ThroughputIdentity, EverySchemeMatchesStepping)
+{
+    SkipAheadGuard guard;
+    for (const auto scheme : allSchemes()) {
+        MachineConfig cfg;
+        cfg.scheme = scheme;
+        cfg.cht.trackDistance = true;
+        EXPECT_EQ(runDumpNamed(cfg, "wd", 15000, false),
+                  runDumpNamed(cfg, "wd", 15000, true))
+            << orderingSchemeName(scheme);
+    }
+}
+
+TEST(ThroughputIdentity, SparseLongLatencyMatchesStepping)
+{
+    SkipAheadGuard guard;
+    // The big-win regime, with every periodic accounting stream on:
+    // histograms record occupancies every cycle and interval samples
+    // fire on a fixed cadence, so a bulk-accounting slip of even one
+    // cycle breaks the comparison.
+    MachineConfig cfg = sparseConfig();
+    cfg.collectHistograms = true;
+    cfg.statsInterval = 777; // deliberately not a divisor of anything
+    cfg.auditInterval = 1000;
+    for (const char *name : {"gcmark", "wd"}) {
+        EXPECT_EQ(runDumpNamed(cfg, name, 20000, false),
+                  runDumpNamed(cfg, name, 20000, true))
+            << name;
+    }
+}
+
+TEST(ThroughputIdentity, AdversarialFamiliesMatchStepping)
+{
+    SkipAheadGuard guard;
+    MachineConfig cfg;
+    cfg.scheme = OrderingScheme::Inclusive;
+    cfg.cht.trackDistance = true;
+    cfg.hmp = HmpKind::Chooser;
+    cfg.bankMode = BankMode::Sliced;
+    cfg.bankPred = BankPredKind::Addr;
+    for (const std::string &name :
+         TraceLibrary::names(TraceGroup::Adversarial)) {
+        EXPECT_EQ(runDumpNamed(cfg, name, 20000, false),
+                  runDumpNamed(cfg, name, 20000, true))
+            << name;
+    }
+}
+
+TEST(ThroughputIdentity, GoldenChampSimTraceMatchesStepping)
+{
+    SkipAheadGuard guard;
+    const std::string path =
+        std::string(LRS_TEST_DATA_DIR) + "/golden.champsim";
+    MachineConfig cfg = sparseConfig();
+    const auto load = [&path] { return readChampSimFile(path); };
+    auto ta = load();
+    auto tb = load();
+    EXPECT_EQ(runDump(cfg, *ta, false), runDump(cfg, *tb, true));
+}
+
+TEST(ThroughputIdentity, ArbitraryStopBoundariesMatchStepping)
+{
+    SkipAheadGuard guard;
+    // advanceTo() must land on any stop_at with bit-identical state,
+    // including boundaries adjacent to the 16K interrupt-poll cadence
+    // that the skip-ahead specifically must not glide over.
+    const MachineConfig cfg = sparseConfig();
+    for (const Cycle stop :
+         {Cycle{1}, Cycle{1000}, Cycle{16383}, Cycle{16384},
+          Cycle{16385}, Cycle{100000}}) {
+        std::string dumps[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            auto trace = TraceLibrary::make(
+                TraceLibrary::byName("gcmark", 20000));
+            setCycleSkipAhead(mode == 1);
+            OooCore core(cfg);
+            core.beginRun(*trace);
+            core.advanceTo(*trace, stop);
+            dumps[mode] = core.saveState().dump(0);
+        }
+        EXPECT_EQ(dumps[0], dumps[1]) << "stop=" << stop;
+    }
+}
+
+TEST(ThroughputIdentity, SnapshotMidSkipRegionIsBitIdentical)
+{
+    SkipAheadGuard guard;
+    setCycleSkipAhead(true);
+    // With 2000-cycle memory stalls, most cycles sit inside idle
+    // regions the fast path jumps over. Checkpointing there forces
+    // advanceTo() to land exactly on the requested cycle; the resumed
+    // run must finish byte-identical to the uninterrupted one.
+    const MachineConfig cfg = sparseConfig();
+    const std::string path =
+        testing::TempDir() + "lrs_throughput_midskip.snap";
+
+    auto full_trace =
+        TraceLibrary::make(TraceLibrary::byName("gcmark", 20000));
+    OooCore full(cfg);
+    const SimResult r_full = full.run(*full_trace);
+    ASSERT_GT(r_full.cycles, 10000u); // sparse enough to mean it
+
+    for (const Cycle stop :
+         {r_full.cycles / 7, r_full.cycles / 2, r_full.cycles - 3}) {
+        {
+            auto trace = TraceLibrary::make(
+                TraceLibrary::byName("gcmark", 20000));
+            OooCore warm(cfg);
+            warm.beginRun(*trace);
+            warm.advanceTo(*trace, stop);
+            EXPECT_EQ(warm.now(), stop);
+            writeSnapshot(path, warm, *trace, stop);
+        }
+        auto trace = TraceLibrary::make(
+            TraceLibrary::byName("gcmark", 20000));
+        OooCore resumed(cfg);
+        loadSnapshotInto(path, resumed, *trace);
+        resumed.advanceTo(*trace);
+        const SimResult r = resumed.finishRun();
+        EXPECT_EQ(r_full.saveState().dump(0), r.saveState().dump(0))
+            << "stop=" << stop;
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace lrs

@@ -5,7 +5,7 @@
 # Usage: tools/bench_to_json.sh [BUILD_DIR] [OUT_FILE]
 #
 #   BUILD_DIR  where the bench binaries live (default: build/bench)
-#   OUT_FILE   aggregate output (default: BENCH_4.json)
+#   OUT_FILE   aggregate output (default: BENCH_5.json)
 #
 # Environment:
 #   LRS_TRACE_LEN  uops per trace passed through to the benches
@@ -38,11 +38,17 @@
 # accuracy from `lrs_sim --families`, so the trajectory records how
 # the predictors hold up under deliberately hostile inputs, not just
 # the paper's favourable ones.
+#
+# The cycle_throughput block is the `lrs_sim --throughput` microbench
+# (docs/PERFORMANCE.md): per-family uops/sec with the idle-cycle
+# skip-ahead off and on, each pair verified bit-identical before the
+# speedup is reported. tools/check_overhead.sh gates against the
+# committed copy of this block so a hot-path regression fails CI.
 
 set -eu
 
 BUILD_DIR=${1:-build/bench}
-OUT=${2:-BENCH_4.json}
+OUT=${2:-BENCH_5.json}
 : "${LRS_TRACE_LEN:=40000}"
 export LRS_TRACE_LEN
 
@@ -151,6 +157,28 @@ else
     echo "skip: adversarial families (no lrs_sim at $SIM)" >&2
 fi
 
+# Cycle-kernel throughput microbench: per-family uops/sec stepped vs
+# skip-ahead, bit-identity checked inside the tool. Lift the
+# "throughput" object (emitted at indent 2) out of the JSON document;
+# the golden ChampSim fixture rides along when present.
+CYCLE_TP_JSON="$TMPDIR_JSON/cycle_tp.extract"
+printf '{}' > "$CYCLE_TP_JSON"
+if [ -x "$SIM" ]; then
+    echo "running lrs_sim --throughput cycle-kernel microbench..." >&2
+    GOLDEN="$(dirname "$0")/../tests/data/golden.champsim"
+    set -- --throughput --len "$LRS_TRACE_LEN" \
+        --json "$TMPDIR_JSON/cycle_tp.json"
+    [ -f "$GOLDEN" ] && set -- "$@" --champsim "$GOLDEN"
+    "$SIM" "$@" > /dev/null 2>&1
+    awk '/^  "throughput": \{/ {grab=1; print "{"; next}
+         grab && /^  \}/ {print "}"; exit}
+         grab {print}' \
+        "$TMPDIR_JSON/cycle_tp.json" > "$CYCLE_TP_JSON"
+    [ -s "$CYCLE_TP_JSON" ] || printf '{}' > "$CYCLE_TP_JSON"
+else
+    echo "skip: cycle throughput (no lrs_sim at $SIM)" >&2
+fi
+
 {
     printf '{\n'
     printf '  "generated_by": "tools/bench_to_json.sh",\n'
@@ -168,6 +196,8 @@ fi
     printf '    "snapshot_sweep_cold_ms": %s,\n' "$SNAP_COLD_MS"
     printf '    "snapshot_sweep_reuse_ms": %s\n' "$SNAP_REUSE_MS"
     printf '  },\n'
+    printf '  "cycle_throughput": '
+    sed 's/^/  /; 1s/^  //; $s/$/,/' "$CYCLE_TP_JSON"
     printf '  "families": '
     sed 's/^/  /; 1s/^  //; $s/$/,/' "$FAMILIES_JSON"
     printf '  "benches": [\n'
